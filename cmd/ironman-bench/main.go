@@ -1,0 +1,88 @@
+// Command ironman-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ironman-bench [-quick] [-exp name]
+//
+// Experiment names: fig1a fig1b fig1c fig7 fig8 fig12 fig13 fig14
+// fig15 fig16 table2 table4 table5 table6 all (default all).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ironman/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sample sizes")
+	exp := flag.String("exp", "all", "experiment to run")
+	flag.Parse()
+
+	o := experiments.Options{Quick: *quick}
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if run("table2") {
+		fmt.Print(experiments.RenderTable2())
+		ran = true
+	}
+	if run("table4") {
+		fmt.Print(experiments.RenderTable4())
+		ran = true
+	}
+	if run("table6") {
+		fmt.Print(experiments.RenderTable6())
+		ran = true
+	}
+	if run("fig1a") {
+		fmt.Print(experiments.RenderFig1a(experiments.Figure1a()))
+		ran = true
+	}
+	if run("fig1b") {
+		fmt.Print(experiments.RenderFig1b(experiments.Figure1b()))
+		ran = true
+	}
+	if run("fig1c") {
+		fmt.Print(experiments.RenderFig1c(experiments.Figure1c()))
+		ran = true
+	}
+	if run("fig7") {
+		fmt.Print(experiments.RenderFig7(experiments.Figure7(o)))
+		ran = true
+	}
+	if run("fig8") {
+		fmt.Print(experiments.RenderFig8(experiments.Figure8()))
+		ran = true
+	}
+	if run("fig12") {
+		fmt.Print(experiments.RenderFig12(experiments.Figure12(o)))
+		ran = true
+	}
+	if run("fig13") {
+		fmt.Print(experiments.RenderFig13(experiments.Figure13a(o), experiments.Figure13b(o)))
+		ran = true
+	}
+	if run("fig14") {
+		fmt.Print(experiments.RenderFig14(experiments.Figure14(o)))
+		ran = true
+	}
+	if run("fig15") {
+		fmt.Print(experiments.RenderFig15(experiments.Figure15(o)))
+		ran = true
+	}
+	if run("fig16") {
+		fmt.Print(experiments.RenderFig16(experiments.Figure16()))
+		ran = true
+	}
+	if run("table5") {
+		fmt.Print(experiments.RenderTable5(experiments.Table5(o)))
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,82 @@
+// Command ppml-sim prices one private inference end to end: pick a
+// framework, a model, a network, and an OT backend, and get the
+// component breakdown (the Table 5 / Figure 1(a) machinery as a CLI).
+//
+//	ppml-sim -framework Cheetah -model ResNet50 -network lan -backend ironman
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"ironman/internal/ppml"
+	"ironman/internal/sim/gpu"
+	"ironman/internal/simnet"
+)
+
+func main() {
+	fwName := flag.String("framework", "Cheetah", "CrypTFlow2 | Cheetah | Bolt | EzPC-SiRNN")
+	modelName := flag.String("model", "ResNet50", "model zoo entry (e.g. ResNet50, BERT-Base)")
+	netName := flag.String("network", "lan", "lan | wan")
+	backend := flag.String("backend", "cpu", "cpu | gpu | ironman")
+	ranks := flag.Int("ranks", 16, "Ironman rank count")
+	cacheKB := flag.Int("cache", 1024, "Ironman cache size (KB)")
+	flag.Parse()
+
+	var fw ppml.Framework
+	switch *fwName {
+	case "CrypTFlow2":
+		fw = ppml.CrypTFlow2
+	case "Cheetah":
+		fw = ppml.Cheetah
+	case "Bolt":
+		fw = ppml.Bolt
+	case "EzPC-SiRNN":
+		fw = ppml.SiRNN
+	default:
+		log.Fatalf("unknown framework %q", *fwName)
+	}
+	model, ok := ppml.ModelByName(*modelName)
+	if !ok {
+		log.Fatalf("unknown model %q", *modelName)
+	}
+	if !fw.Supports(model) {
+		log.Fatalf("%s does not evaluate %s", fw.Name, model.Name)
+	}
+	var net simnet.Network
+	switch strings.ToLower(*netName) {
+	case "lan":
+		net = simnet.LAN
+	case "wan":
+		net = simnet.WAN
+	default:
+		log.Fatalf("unknown network %q", *netName)
+	}
+	var ot ppml.OTBackend
+	switch *backend {
+	case "cpu":
+		ot = ppml.DefaultCPUBaseline()
+	case "gpu":
+		cpuB := ppml.DefaultCPUBaseline()
+		ot = ppml.GPUBackend{Host: cpuB.Model, GPU: gpu.A6000}
+	case "ironman":
+		ir := ppml.DefaultIronman()
+		ir.Cfg.Ranks = *ranks
+		ir.Cfg.CacheBytes = *cacheKB << 10
+		ot = ir
+	default:
+		log.Fatalf("unknown backend %q", *backend)
+	}
+
+	lat := ppml.EndToEnd(fw, model, net, ot)
+	fmt.Printf("%s / %s on %s with OT backend %s\n", fw.Name, model.Name, net.Name, ot.Name())
+	fmt.Printf("  nonlinear elements: %.1f M, OT correlations: %.2f G\n",
+		float64(model.TotalNonlinear())/1e6, float64(fw.OTCount(model))/1e9)
+	fmt.Printf("  linear (HE)      %8.1f s\n", lat.Linear)
+	fmt.Printf("  OT extension     %8.1f s\n", lat.OTE)
+	fmt.Printf("  communication    %8.1f s\n", lat.OnlineComm)
+	fmt.Printf("  other            %8.1f s\n", lat.Other)
+	fmt.Printf("  total            %8.1f s  (OTE share %.1f%%)\n", lat.Total(), 100*lat.OTEFraction())
+}

@@ -1,0 +1,76 @@
+// Transformer nonlinear budget: size the OT preprocessing a Bolt-style
+// private BERT-Base inference needs for its GELU/Softmax/LayerNorm
+// layers (§2.2, Figure 15 of the Ironman paper), generate a slice of
+// that budget with the real protocol, and compare the projected
+// preprocessing times of the CPU baseline and the Ironman NMP design.
+//
+//	go run ./examples/transformer-gelu
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ironman"
+	"ironman/internal/ppml"
+)
+
+func main() {
+	model := ppml.BERTBase
+	fw := ppml.Bolt
+
+	fmt.Printf("Model %s under %s:\n", model.Name, fw.Name)
+	for _, op := range []ppml.Op{ppml.GELU, ppml.Softmax, ppml.LayerNorm} {
+		fmt.Printf("  %-10s %8.1f M elements\n", op, float64(model.Elems[op])/1e6)
+	}
+	totalOTs := fw.OTCount(model)
+	fmt.Printf("  -> %0.2f G COT correlations to preprocess\n", float64(totalOTs)/1e9)
+
+	// Project preprocessing time on the two backends.
+	cpuB := ppml.DefaultCPUBaseline()
+	ironB := ppml.DefaultIronman()
+	cpuSec := cpuB.Seconds(totalOTs)
+	ironSec := ironB.Seconds(totalOTs)
+	fmt.Printf("  CPU backend:     %8.1f s\n", cpuSec)
+	fmt.Printf("  Ironman backend: %8.1f s  (%.1fx faster)\n", ironSec, cpuSec/ironSec)
+
+	// Now actually run a slice of that budget with the real protocol:
+	// one GELU activation row (3072 elements x OTs/elem).
+	perRow := int(float64(3072) * fw.Costs[ppml.GELU].OTs)
+	params, err := ironman.ParamsByName("2^20")
+	if err != nil {
+		log.Fatal(err)
+	}
+	connS, connR := ironman.Pipe()
+	delta, err := ironman.RandomDelta()
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, r, err := ironman.NewDealtPair(connS, connR, delta, params, ironman.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	type sres struct {
+		z   []ironman.Block
+		err error
+	}
+	ch := make(chan sres, 1)
+	go func() {
+		z, err := s.COTs(perRow)
+		ch <- sres{z, err}
+	}()
+	bits, blocks, err := r.COTs(perRow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sr := <-ch
+	if sr.err != nil {
+		log.Fatal(sr.err)
+	}
+	if err := ironman.VerifyCOTs(delta, sr.z, bits, blocks); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d real COTs (one GELU row) in %v\n", perRow, time.Since(start))
+}

@@ -1,0 +1,189 @@
+package aesprg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ironman/internal/block"
+)
+
+func TestDoublerDeterministicAndDistinct(t *testing.T) {
+	for arity := 2; arity <= 4; arity++ {
+		d := NewDoubler(arity)
+		if d.Arity() != arity {
+			t.Fatalf("arity = %d, want %d", d.Arity(), arity)
+		}
+		parent := block.New(42, 43)
+		a := make([]block.Block, arity)
+		b := make([]block.Block, arity)
+		d.Expand(parent, a)
+		d.Expand(parent, b)
+		if !block.Equal(a, b) {
+			t.Fatal("expansion not deterministic")
+		}
+		seen := map[block.Block]bool{parent: true}
+		for _, c := range a {
+			if seen[c] {
+				t.Fatal("duplicate child")
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestDoublerSeedSensitivity(t *testing.T) {
+	d := NewDoubler(2)
+	f := func(lo1, hi1, lo2, hi2 uint64) bool {
+		p1, p2 := block.New(lo1, hi1), block.New(lo2, hi2)
+		c1 := make([]block.Block, 2)
+		c2 := make([]block.Block, 2)
+		d.Expand(p1, c1)
+		d.Expand(p2, c2)
+		if p1 == p2 {
+			return block.Equal(c1, c2)
+		}
+		return c1[0] != c2[0] && c1[1] != c2[1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoublerBadArity(t *testing.T) {
+	for _, arity := range []int{0, 1, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewDoubler(%d) should panic", arity)
+				}
+			}()
+			NewDoubler(arity)
+		}()
+	}
+}
+
+func TestHashTweakSeparation(t *testing.T) {
+	h := NewHash()
+	x := block.New(1, 2)
+	if h.Sum(x, 0) == h.Sum(x, 1) {
+		t.Fatal("different tweaks must give different digests")
+	}
+	if h.Sum(x, 5) != h.Sum(x, 5) {
+		t.Fatal("hash must be deterministic")
+	}
+	y := block.New(1, 3)
+	if h.Sum(x, 0) == h.Sum(y, 0) {
+		t.Fatal("different inputs must give different digests")
+	}
+}
+
+func TestHashNoFixedPoint(t *testing.T) {
+	// H(x) != x for random x with overwhelming probability; a systematic
+	// fixed point would indicate the feed-forward is missing.
+	h := NewHash()
+	f := func(lo, hi uint64, tweak uint64) bool {
+		x := block.New(lo, hi)
+		return h.Sum(x, tweak) != x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	seed := block.New(7, 9)
+	a := NewStream(seed)
+	b := NewStream(seed)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("streams from equal seeds must agree")
+		}
+	}
+	c := NewStream(block.New(7, 10))
+	if a.Uint64() == c.Uint64() && a.Uint64() == c.Uint64() {
+		t.Fatal("streams from different seeds should diverge")
+	}
+}
+
+func TestStreamFillChunking(t *testing.T) {
+	// Reading byte-by-byte must equal one bulk read.
+	seed := block.New(3, 1)
+	bulk := make([]byte, 100)
+	NewStream(seed).Fill(bulk)
+	s := NewStream(seed)
+	for i := range bulk {
+		var one [1]byte
+		s.Fill(one[:])
+		if one[0] != bulk[i] {
+			t.Fatalf("byte %d differs between chunked and bulk reads", i)
+		}
+	}
+}
+
+func TestUint32nUniformBounds(t *testing.T) {
+	s := NewStream(block.New(11, 12))
+	counts := make([]int, 10)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := s.Uint32n(10)
+		counts[v]++
+	}
+	for v, c := range counts {
+		// Expected 10000 per bucket; allow 10% slack.
+		if c < 9000 || c > 11000 {
+			t.Fatalf("bucket %d has %d draws, outside [9000,11000]", v, c)
+		}
+	}
+}
+
+func TestUint32nZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint32n(0) must panic")
+		}
+	}()
+	NewStream(block.Zero).Uint32n(0)
+}
+
+func TestStreamBits(t *testing.T) {
+	s := NewStream(block.New(1, 1))
+	bits := make([]bool, 1000)
+	s.Bits(bits)
+	ones := 0
+	for _, b := range bits {
+		if b {
+			ones++
+		}
+	}
+	if ones < 400 || ones > 600 {
+		t.Fatalf("ones = %d out of 1000, badly unbalanced", ones)
+	}
+}
+
+func BenchmarkDoublerExpand2(b *testing.B) {
+	d := NewDoubler(2)
+	children := make([]block.Block, 2)
+	p := block.New(1, 2)
+	b.SetBytes(32)
+	for i := 0; i < b.N; i++ {
+		d.Expand(p, children)
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	h := NewHash()
+	x := block.New(1, 2)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		x = h.Sum(x, uint64(i))
+	}
+}
+
+func BenchmarkStreamFill(b *testing.B) {
+	s := NewStream(block.New(1, 2))
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		s.Fill(buf)
+	}
+}

@@ -1,0 +1,144 @@
+// Package baseot implements the Chou-Orlandi "Simplest OT" protocol
+// (CO15) over NIST P-256, producing the handful of public-key OTs that
+// seed IKNP extension (the one-time "Init" phase of Figure 1(b), which
+// PCG-style OTE amortizes away).
+//
+// Protocol, per batch of n OTs with one sender scalar a:
+//
+//	S:  A = aG                                  -> R
+//	R:  for each i, B_i = b_i·G + c_i·A         -> S
+//	S:  k_i^0 = H(i, a·B_i), k_i^1 = H(i, a·B_i - a·A)
+//	R:  k_i^{c_i} = H(i, b_i·A)
+//
+// The sender's two keys per instance are random OT messages; the
+// receiver learns exactly the one matching its choice bit. Security is
+// in the random-oracle model against semi-honest adversaries, which is
+// the threat model of the whole repository (see DESIGN.md).
+//
+// P-256 is accessed through crypto/elliptic, whose point arithmetic on
+// the named curve is constant time in the standard library.
+package baseot
+
+import (
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/big"
+
+	"ironman/internal/block"
+	"ironman/internal/transport"
+)
+
+var curve = elliptic.P256()
+
+// pointLen is the byte length of an uncompressed marshaled P-256 point.
+const pointLen = 65
+
+// hashPoint derives a 128-bit key from an instance index and a point.
+func hashPoint(i int, x, y *big.Int) block.Block {
+	h := sha256.New()
+	var idx [8]byte
+	binary.LittleEndian.PutUint64(idx[:], uint64(i))
+	h.Write(idx[:])
+	h.Write(elliptic.Marshal(curve, x, y))
+	return block.FromBytes(h.Sum(nil))
+}
+
+func randScalar() ([]byte, error) {
+	for {
+		k := make([]byte, 32)
+		if _, err := rand.Read(k); err != nil {
+			return nil, err
+		}
+		v := new(big.Int).SetBytes(k)
+		v.Mod(v, curve.Params().N)
+		if v.Sign() != 0 {
+			return v.FillBytes(make([]byte, 32)), nil
+		}
+	}
+}
+
+// negate returns the negation of a point (x, -y mod p).
+func negate(x, y *big.Int) (*big.Int, *big.Int) {
+	ny := new(big.Int).Sub(curve.Params().P, y)
+	ny.Mod(ny, curve.Params().P)
+	return new(big.Int).Set(x), ny
+}
+
+// Send runs the sender side of n base OTs and returns the n random
+// message pairs (m_i^0, m_i^1).
+func Send(conn transport.Conn, n int) ([][2]block.Block, error) {
+	a, err := randScalar()
+	if err != nil {
+		return nil, err
+	}
+	ax, ay := curve.ScalarBaseMult(a)
+	if err := conn.Send(elliptic.Marshal(curve, ax, ay)); err != nil {
+		return nil, err
+	}
+
+	msg, err := conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if len(msg) != n*pointLen {
+		return nil, fmt.Errorf("baseot: expected %d points, got %d bytes", n, len(msg))
+	}
+	// aA, used to shift B by -aA for the k^1 key.
+	aAx, aAy := curve.ScalarMult(ax, ay, a)
+	negAAx, negAAy := negate(aAx, aAy)
+
+	out := make([][2]block.Block, n)
+	for i := 0; i < n; i++ {
+		bx, by := elliptic.Unmarshal(curve, msg[i*pointLen:(i+1)*pointLen])
+		if bx == nil {
+			return nil, fmt.Errorf("baseot: receiver sent invalid point %d", i)
+		}
+		abx, aby := curve.ScalarMult(bx, by, a)
+		out[i][0] = hashPoint(i, abx, aby)
+		sx, sy := curve.Add(abx, aby, negAAx, negAAy)
+		out[i][1] = hashPoint(i, sx, sy)
+	}
+	return out, nil
+}
+
+// Receive runs the receiver side with the given choice bits and returns
+// m_i^{c_i} for each instance.
+func Receive(conn transport.Conn, choices []bool) ([]block.Block, error) {
+	msg, err := conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	ax, ay := elliptic.Unmarshal(curve, msg)
+	if ax == nil {
+		return nil, fmt.Errorf("baseot: sender sent invalid point")
+	}
+
+	n := len(choices)
+	bs := make([][]byte, n)
+	points := make([]byte, 0, n*pointLen)
+	for i := 0; i < n; i++ {
+		b, err := randScalar()
+		if err != nil {
+			return nil, err
+		}
+		bs[i] = b
+		bx, by := curve.ScalarBaseMult(b)
+		if choices[i] {
+			bx, by = curve.Add(bx, by, ax, ay)
+		}
+		points = append(points, elliptic.Marshal(curve, bx, by)...)
+	}
+	if err := conn.Send(points); err != nil {
+		return nil, err
+	}
+
+	out := make([]block.Block, n)
+	for i := 0; i < n; i++ {
+		kx, ky := curve.ScalarMult(ax, ay, bs[i])
+		out[i] = hashPoint(i, kx, ky)
+	}
+	return out, nil
+}

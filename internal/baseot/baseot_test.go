@@ -1,0 +1,143 @@
+package baseot
+
+import (
+	"math/rand"
+	"testing"
+
+	"ironman/internal/block"
+	"ironman/internal/transport"
+)
+
+// runOT executes a batch of base OTs over an in-process pipe.
+func runOT(t *testing.T, choices []bool) ([][2]block.Block, []block.Block) {
+	t.Helper()
+	a, b := transport.Pipe()
+	defer a.Close()
+	defer b.Close()
+	type sret struct {
+		pairs [][2]block.Block
+		err   error
+	}
+	ch := make(chan sret, 1)
+	go func() {
+		pairs, err := Send(a, len(choices))
+		ch <- sret{pairs, err}
+	}()
+	got, err := Receive(b, choices)
+	if err != nil {
+		t.Fatalf("receive: %v", err)
+	}
+	s := <-ch
+	if s.err != nil {
+		t.Fatalf("send: %v", s.err)
+	}
+	return s.pairs, got
+}
+
+func TestCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	choices := make([]bool, 16)
+	for i := range choices {
+		choices[i] = rng.Intn(2) == 1
+	}
+	pairs, got := runOT(t, choices)
+	for i, c := range choices {
+		want := pairs[i][0]
+		if c {
+			want = pairs[i][1]
+		}
+		if got[i] != want {
+			t.Fatalf("OT %d: receiver key mismatch", i)
+		}
+		// The unchosen message must differ (receiver cannot trivially
+		// hold both).
+		other := pairs[i][1]
+		if c {
+			other = pairs[i][0]
+		}
+		if got[i] == other {
+			t.Fatalf("OT %d: messages collide", i)
+		}
+	}
+}
+
+func TestInstanceSeparation(t *testing.T) {
+	// Same choice bits, different instances: keys must all be distinct
+	// (the per-instance tweak in the hash).
+	choices := make([]bool, 8)
+	pairs, _ := runOT(t, choices)
+	seen := make(map[block.Block]bool)
+	for _, p := range pairs {
+		for _, k := range p {
+			if seen[k] {
+				t.Fatal("duplicate key across instances")
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestFreshRandomnessPerRun(t *testing.T) {
+	choices := []bool{false, true}
+	p1, _ := runOT(t, choices)
+	p2, _ := runOT(t, choices)
+	if p1[0] == p2[0] {
+		t.Fatal("two protocol runs produced identical keys")
+	}
+}
+
+func TestRejectsInvalidPoint(t *testing.T) {
+	a, b := transport.Pipe()
+	defer a.Close()
+	defer b.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := Send(a, 1)
+		errCh <- err
+	}()
+	// Consume A, reply with garbage of the right length.
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(make([]byte, 65)); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("sender accepted an invalid point")
+	}
+}
+
+func TestRejectsWrongCount(t *testing.T) {
+	a, b := transport.Pipe()
+	defer a.Close()
+	defer b.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := Send(a, 3)
+		errCh <- err
+	}()
+	if _, err := Receive(b, []bool{true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("sender accepted wrong point count")
+	}
+}
+
+func BenchmarkBaseOT128(b *testing.B) {
+	choices := make([]bool, 128)
+	for i := range choices {
+		choices[i] = i%2 == 0
+	}
+	for i := 0; i < b.N; i++ {
+		x, y := transport.Pipe()
+		go func() {
+			_, _ = Send(x, len(choices))
+		}()
+		if _, err := Receive(y, choices); err != nil {
+			b.Fatal(err)
+		}
+		x.Close()
+		y.Close()
+	}
+}

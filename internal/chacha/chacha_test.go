@@ -1,0 +1,139 @@
+package chacha
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// RFC 8439 §2.3.2 test vector for the ChaCha20 block function.
+func TestRFC8439BlockVector(t *testing.T) {
+	key, _ := hex.DecodeString("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+	nonce, _ := hex.DecodeString("000000090000004a00000000")
+	c := New(key, nonce, Rounds20)
+	var out [BlockSize]byte
+	c.KeystreamBlock(&out, 1)
+	want, _ := hex.DecodeString(
+		"10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e" +
+			"d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e")
+	if !bytes.Equal(out[:], want) {
+		t.Fatalf("block mismatch:\n got %x\nwant %x", out, want)
+	}
+}
+
+// RFC 8439 §2.4.2 keystream encryption vector.
+func TestRFC8439Encrypt(t *testing.T) {
+	key, _ := hex.DecodeString("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+	nonce, _ := hex.DecodeString("000000000000004a00000000")
+	plain := []byte("Ladies and Gentlemen of the class of '99: If I could offer you " +
+		"only one tip for the future, sunscreen would be it.")
+	c := New(key, nonce, Rounds20)
+	// RFC uses initial counter 1: burn block 0.
+	var burn [BlockSize]byte
+	c.KeystreamBlock(&burn, 0)
+	c.counter = 1
+	got := make([]byte, len(plain))
+	c.XORKeyStream(got, plain)
+	want, _ := hex.DecodeString(
+		"6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b" +
+			"f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8" +
+			"07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736" +
+			"5af90bbf74a35be6b40b8eedf2785e42874d")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("ciphertext mismatch:\n got %x\nwant %x", got, want)
+	}
+}
+
+func TestRoundVariantsDiffer(t *testing.T) {
+	key := make([]byte, KeySize)
+	nonce := make([]byte, NonceSize)
+	var o8, o12, o20 [BlockSize]byte
+	New(key, nonce, Rounds8).KeystreamBlock(&o8, 0)
+	New(key, nonce, Rounds12).KeystreamBlock(&o12, 0)
+	New(key, nonce, Rounds20).KeystreamBlock(&o20, 0)
+	if bytes.Equal(o8[:], o12[:]) || bytes.Equal(o12[:], o20[:]) || bytes.Equal(o8[:], o20[:]) {
+		t.Fatal("round variants should produce distinct keystreams")
+	}
+}
+
+func TestXORKeyStreamInvolution(t *testing.T) {
+	f := func(keySeed, nonceSeed uint64, msg []byte) bool {
+		key := make([]byte, KeySize)
+		nonce := make([]byte, NonceSize)
+		binary.LittleEndian.PutUint64(key, keySeed)
+		binary.LittleEndian.PutUint64(nonce, nonceSeed)
+		ct := make([]byte, len(msg))
+		New(key, nonce, Rounds8).XORKeyStream(ct, msg)
+		pt := make([]byte, len(ct))
+		New(key, nonce, Rounds8).XORKeyStream(pt, ct)
+		return bytes.Equal(pt, msg)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeystreamBlockDeterministic(t *testing.T) {
+	key := make([]byte, KeySize)
+	key[0] = 0xaa
+	nonce := make([]byte, NonceSize)
+	c := New(key, nonce, Rounds8)
+	var a, b [BlockSize]byte
+	c.KeystreamBlock(&a, 7)
+	c.KeystreamBlock(&b, 7)
+	if !bytes.Equal(a[:], b[:]) {
+		t.Fatal("KeystreamBlock must be a pure function of the counter")
+	}
+	c.KeystreamBlock(&b, 8)
+	if bytes.Equal(a[:], b[:]) {
+		t.Fatal("different counters must give different blocks")
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	nonce := make([]byte, NonceSize)
+	var prev [BlockSize]byte
+	for i := 0; i < 8; i++ {
+		key := make([]byte, KeySize)
+		key[i] = 1
+		var out [BlockSize]byte
+		New(key, nonce, Rounds8).KeystreamBlock(&out, 0)
+		if bytes.Equal(out[:], prev[:]) {
+			t.Fatalf("key bit %d did not change the output", i)
+		}
+		prev = out
+	}
+}
+
+func TestBadArgsPanic(t *testing.T) {
+	for _, tc := range []func(){
+		func() { New(make([]byte, 31), make([]byte, NonceSize), Rounds8) },
+		func() { New(make([]byte, KeySize), make([]byte, 11), Rounds8) },
+		func() { New(make([]byte, KeySize), make([]byte, NonceSize), 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			tc()
+		}()
+	}
+}
+
+func benchRounds(b *testing.B, rounds int) {
+	key := make([]byte, KeySize)
+	nonce := make([]byte, NonceSize)
+	c := New(key, nonce, rounds)
+	var out [BlockSize]byte
+	b.SetBytes(BlockSize)
+	for i := 0; i < b.N; i++ {
+		c.KeystreamBlock(&out, uint32(i))
+	}
+}
+
+func BenchmarkChaCha8Block(b *testing.B)  { benchRounds(b, Rounds8) }
+func BenchmarkChaCha20Block(b *testing.B) { benchRounds(b, Rounds20) }

@@ -1,0 +1,274 @@
+// Package cot defines correlated-OT stores and the oblivious-transfer
+// sub-protocols built on them.
+//
+// A COT correlation (Figure 2 of the paper) gives the sender random
+// blocks r0 with a global Δ (r1 = r0 ⊕ Δ implied) and the receiver a
+// random bit b with r_b = r0 ⊕ b·Δ. The package converts pools of such
+// correlations into:
+//
+//   - chosen-message 1-out-of-2 OT (SendChosen/ReceiveChosen), the
+//     classic Beaver derandomization plus a correlation-robust hash;
+//   - (m-1)-out-of-m OT (SendAllButOne/ReceiveAllButOne), realized with
+//     an m-leaf GGM tree at a cost of only log2(m) COTs (§4.2), which is
+//     what makes m-ary SPCOT correlation-neutral.
+package cot
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"ironman/internal/aesprg"
+	"ironman/internal/block"
+	"ironman/internal/ggm"
+	"ironman/internal/prg"
+	"ironman/internal/transport"
+)
+
+// ErrExhausted is returned when a pool has fewer correlations left than
+// a protocol step needs.
+var ErrExhausted = errors.New("cot: correlation pool exhausted")
+
+// SenderPool holds the sender's side of a batch of COT correlations.
+type SenderPool struct {
+	Delta block.Block
+	r0    []block.Block
+	used  int
+}
+
+// ReceiverPool holds the receiver's side of a batch of COT correlations.
+type ReceiverPool struct {
+	bits   []bool
+	blocks []block.Block
+	used   int
+}
+
+// NewSenderPool wraps correlations (r0 values) under the global Delta.
+func NewSenderPool(delta block.Block, r0 []block.Block) *SenderPool {
+	return &SenderPool{Delta: delta, r0: r0}
+}
+
+// NewReceiverPool wraps correlations (choice bits and r_b values).
+func NewReceiverPool(bits []bool, blocks []block.Block) *ReceiverPool {
+	if len(bits) != len(blocks) {
+		panic("cot: bits/blocks length mismatch")
+	}
+	return &ReceiverPool{bits: bits, blocks: blocks}
+}
+
+// Remaining reports how many unconsumed correlations are left.
+func (p *SenderPool) Remaining() int   { return len(p.r0) - p.used }
+func (p *ReceiverPool) Remaining() int { return len(p.bits) - p.used }
+
+// Used reports how many correlations have been consumed; both parties
+// consume in lockstep, so Used doubles as the hash-tweak base.
+func (p *SenderPool) Used() int   { return p.used }
+func (p *ReceiverPool) Used() int { return p.used }
+
+// TakeBlocks consumes n correlations, returning their r0 blocks. Used
+// when correlations feed a local computation (the LPN input) rather
+// than an OT sub-protocol.
+func (p *SenderPool) TakeBlocks(n int) ([]block.Block, error) {
+	_, blocks, err := p.take(n)
+	return blocks, err
+}
+
+// Take consumes n correlations, returning choice bits and r_b blocks.
+func (p *ReceiverPool) Take(n int) ([]bool, []block.Block, error) {
+	_, bits, blocks, err := p.take(n)
+	return bits, blocks, err
+}
+
+// take advances the pool cursor by n, returning the starting offset.
+func (p *SenderPool) take(n int) (int, []block.Block, error) {
+	if p.Remaining() < n {
+		return 0, nil, fmt.Errorf("%w: need %d, have %d", ErrExhausted, n, p.Remaining())
+	}
+	off := p.used
+	p.used += n
+	return off, p.r0[off : off+n], nil
+}
+
+func (p *ReceiverPool) take(n int) (int, []bool, []block.Block, error) {
+	if p.Remaining() < n {
+		return 0, nil, nil, fmt.Errorf("%w: need %d, have %d", ErrExhausted, n, p.Remaining())
+	}
+	off := p.used
+	p.used += n
+	return off, p.bits[off : off+n], p.blocks[off : off+n], nil
+}
+
+// SendChosen runs the sender side of len(msgs) chosen-message 1-of-2
+// OTs, consuming one COT each. msgs[i] is the pair (m_i^0, m_i^1).
+//
+// Wire format: receiver sends the correction bits d_i = c_i ⊕ b_i; the
+// sender replies with (m0 ⊕ H(r_{d}), m1 ⊕ H(r_{1-d})) per instance,
+// where H is tweaked by the pool offset so every instance gets an
+// independent oracle.
+func SendChosen(conn transport.Conn, pool *SenderPool, h *aesprg.Hash, msgs [][2]block.Block) error {
+	n := len(msgs)
+	off, r0, err := pool.take(n)
+	if err != nil {
+		return err
+	}
+	ds, err := transport.RecvBits(conn, n)
+	if err != nil {
+		return err
+	}
+	cts := make([]block.Block, 2*n)
+	for i := 0; i < n; i++ {
+		rd := r0[i]
+		rnd := r0[i].Xor(pool.Delta)
+		if ds[i] {
+			rd, rnd = rnd, rd
+		}
+		tweak := uint64(off + i)
+		cts[2*i] = msgs[i][0].Xor(h.Sum(rd, tweak))
+		cts[2*i+1] = msgs[i][1].Xor(h.Sum(rnd, tweak))
+	}
+	return transport.SendBlocks(conn, cts)
+}
+
+// ReceiveChosen runs the receiver side; choices[i] selects which of the
+// sender's two messages instance i yields.
+func ReceiveChosen(conn transport.Conn, pool *ReceiverPool, h *aesprg.Hash, choices []bool) ([]block.Block, error) {
+	n := len(choices)
+	off, bits, rb, err := pool.take(n)
+	if err != nil {
+		return nil, err
+	}
+	ds := make([]bool, n)
+	for i := range ds {
+		ds[i] = choices[i] != bits[i]
+	}
+	if err := transport.SendBits(conn, ds); err != nil {
+		return nil, err
+	}
+	cts, err := transport.RecvBlocks(conn, 2*n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]block.Block, n)
+	for i := 0; i < n; i++ {
+		ct := cts[2*i]
+		if choices[i] {
+			ct = cts[2*i+1]
+		}
+		out[i] = ct.Xor(h.Sum(rb[i], uint64(off+i)))
+	}
+	return out, nil
+}
+
+// abOnePRG is the fixed PRG used inside the all-but-one GGM gadget.
+// A binary AES PRG keeps the gadget independent of the caller's choice
+// of tree PRG (it is a different, tiny tree).
+func abOnePRG() prg.PRG { return prg.New(prg.AES, 2) }
+
+// SendAllButOne transfers len(msgs) messages such that the receiver
+// learns every message except the one at its secret index. len(msgs)
+// must be a power of two >= 2. Consumes log2(len(msgs)) COTs.
+func SendAllButOne(conn transport.Conn, pool *SenderPool, h *aesprg.Hash, msgs []block.Block) error {
+	m := len(msgs)
+	if m < 2 || bits.OnesCount(uint(m)) != 1 {
+		return fmt.Errorf("cot: all-but-one needs a power-of-two message count, got %d", m)
+	}
+	var seedBytes [block.Size]byte
+	if _, err := rand.Read(seedBytes[:]); err != nil {
+		return err
+	}
+	seed := block.FromBytes(seedBytes[:])
+	p := abOnePRG()
+	arities := ggm.LevelArities(m, 2)
+	tree := ggm.Expand(p, seed, arities)
+
+	// Per level, offer (K0, K1) through a chosen OT; the receiver takes
+	// the sum opposite its path digit.
+	for level := 1; level <= tree.Depth(); level++ {
+		sums := tree.LevelSums(level)
+		if err := SendChosen(conn, pool, h, [][2]block.Block{{sums[0], sums[1]}}); err != nil {
+			return err
+		}
+	}
+	// Mask each message with a hash of its leaf.
+	leaves := tree.Leaves()
+	cts := make([]block.Block, m)
+	base := uint64(pool.Used()) << 32 // domain-separate from the OT tweaks
+	for j := 0; j < m; j++ {
+		cts[j] = msgs[j].Xor(h.Sum(leaves[j], base+uint64(j)))
+	}
+	return transport.SendBlocks(conn, cts)
+}
+
+// ReceiveAllButOne receives every message except msgs[alpha]. The
+// returned slice has the punctured slot zeroed.
+func ReceiveAllButOne(conn transport.Conn, pool *ReceiverPool, h *aesprg.Hash, m, alpha int) ([]block.Block, error) {
+	if m < 2 || bits.OnesCount(uint(m)) != 1 {
+		return nil, fmt.Errorf("cot: all-but-one needs a power-of-two message count, got %d", m)
+	}
+	if alpha < 0 || alpha >= m {
+		return nil, fmt.Errorf("cot: alpha %d out of range [0,%d)", alpha, m)
+	}
+	p := abOnePRG()
+	arities := ggm.LevelArities(m, 2)
+	digits := ggm.Digits(alpha, arities)
+
+	sums := make([][]block.Block, len(arities))
+	for i := range arities {
+		// Binary level: ask for the sum at position 1-digit.
+		want := digits[i] == 0 // true selects message index 1
+		got, err := ReceiveChosen(conn, pool, h, []bool{want})
+		if err != nil {
+			return nil, err
+		}
+		sums[i] = make([]block.Block, 2)
+		sums[i][1-digits[i]] = got[0]
+	}
+	rec := ggm.Reconstruct(p, arities, alpha, sums)
+
+	cts, err := transport.RecvBlocks(conn, m)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]block.Block, m)
+	base := uint64(pool.Used()) << 32
+	for j := 0; j < m; j++ {
+		if j == alpha {
+			continue
+		}
+		out[j] = cts[j].Xor(h.Sum(rec.Leaves[j], base+uint64(j)))
+	}
+	return out, nil
+}
+
+// RandomPools deals a correlated pair of pools from crypto/rand under a
+// fresh random Δ. This is the "trusted dealer" shortcut used by tests
+// and benchmarks that focus on post-init behaviour; production
+// initialization goes through internal/iknp (see ferret.NewSender).
+func RandomPools(n int) (*SenderPool, *ReceiverPool, error) {
+	var deltaBytes [block.Size]byte
+	if _, err := rand.Read(deltaBytes[:]); err != nil {
+		return nil, nil, err
+	}
+	return RandomPoolsWithDelta(block.FromBytes(deltaBytes[:]), n)
+}
+
+// RandomPoolsWithDelta is RandomPools under a caller-chosen Δ.
+func RandomPoolsWithDelta(delta block.Block, n int) (*SenderPool, *ReceiverPool, error) {
+	buf := make([]byte, block.Size*n+(n+7)/8)
+	if _, err := rand.Read(buf); err != nil {
+		return nil, nil, err
+	}
+	r0 := block.SliceFromBytes(buf[:block.Size*n])
+	bitsBuf := buf[block.Size*n:]
+	bits := make([]bool, n)
+	rb := make([]block.Block, n)
+	for i := 0; i < n; i++ {
+		bits[i] = bitsBuf[i/8]>>uint(i%8)&1 == 1
+		rb[i] = r0[i]
+		if bits[i] {
+			rb[i] = rb[i].Xor(delta)
+		}
+	}
+	return NewSenderPool(delta, r0), NewReceiverPool(bits, rb), nil
+}

@@ -1,0 +1,196 @@
+package cot
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ironman/internal/aesprg"
+	"ironman/internal/block"
+	"ironman/internal/transport"
+)
+
+func pools(t *testing.T, n int) (*SenderPool, *ReceiverPool) {
+	t.Helper()
+	s, r, err := RandomPools(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, r
+}
+
+func TestRandomPoolsCorrelation(t *testing.T) {
+	s, r, err := RandomPools(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		want := s.r0[i]
+		if r.bits[i] {
+			want = want.Xor(s.Delta)
+		}
+		if r.blocks[i] != want {
+			t.Fatalf("correlation broken at %d", i)
+		}
+	}
+	if s.Remaining() != 64 || r.Remaining() != 64 {
+		t.Fatal("remaining wrong")
+	}
+}
+
+func TestChosenOT(t *testing.T) {
+	sp, rp := pools(t, 32)
+	h := aesprg.NewHash()
+	rng := rand.New(rand.NewSource(2))
+	msgs := make([][2]block.Block, 32)
+	choices := make([]bool, 32)
+	for i := range msgs {
+		msgs[i][0] = block.New(rng.Uint64(), rng.Uint64())
+		msgs[i][1] = block.New(rng.Uint64(), rng.Uint64())
+		choices[i] = rng.Intn(2) == 1
+	}
+	a, b := transport.Pipe()
+	errCh := make(chan error, 1)
+	go func() { errCh <- SendChosen(a, sp, h, msgs) }()
+	got, err := ReceiveChosen(b, rp, h, choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		want := msgs[i][0]
+		if choices[i] {
+			want = msgs[i][1]
+		}
+		if got[i] != want {
+			t.Fatalf("OT %d wrong message", i)
+		}
+	}
+	if sp.Used() != 32 || rp.Used() != 32 {
+		t.Fatal("pools must advance by one per OT")
+	}
+}
+
+func TestChosenOTSequentialBatches(t *testing.T) {
+	// Two batches over the same pool must keep tweaks aligned.
+	sp, rp := pools(t, 8)
+	h := aesprg.NewHash()
+	a, b := transport.Pipe()
+	for batch := 0; batch < 2; batch++ {
+		msgs := [][2]block.Block{
+			{block.New(uint64(batch), 1), block.New(uint64(batch), 2)},
+			{block.New(uint64(batch), 3), block.New(uint64(batch), 4)},
+		}
+		choices := []bool{batch == 0, batch == 1}
+		errCh := make(chan error, 1)
+		go func() { errCh <- SendChosen(a, sp, h, msgs) }()
+		got, err := ReceiveChosen(b, rp, h, choices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			want := msgs[i][0]
+			if choices[i] {
+				want = msgs[i][1]
+			}
+			if got[i] != want {
+				t.Fatalf("batch %d OT %d wrong", batch, i)
+			}
+		}
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	sp, rp := pools(t, 1)
+	h := aesprg.NewHash()
+	a, b := transport.Pipe()
+	msgs := make([][2]block.Block, 2)
+	go func() {
+		// Receiver side will fail before sending; unblock the sender by
+		// closing the pipe.
+		_, _ = ReceiveChosen(b, rp, h, make([]bool, 2))
+		b.Close()
+		a.Close()
+	}()
+	err := SendChosen(a, sp, h, msgs)
+	if !errors.Is(err, ErrExhausted) && err == nil {
+		t.Fatalf("err = %v, want exhaustion or closed pipe", err)
+	}
+}
+
+func TestAllButOne(t *testing.T) {
+	for _, m := range []int{2, 4, 8, 16} {
+		for alpha := 0; alpha < m; alpha++ {
+			sp, rp := pools(t, 16)
+			h := aesprg.NewHash()
+			msgs := make([]block.Block, m)
+			for j := range msgs {
+				msgs[j] = block.New(uint64(j)+100, uint64(m))
+			}
+			a, b := transport.Pipe()
+			errCh := make(chan error, 1)
+			go func() { errCh <- SendAllButOne(a, sp, h, msgs) }()
+			got, err := ReceiveAllButOne(b, rp, h, m, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := <-errCh; err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < m; j++ {
+				if j == alpha {
+					if !got[j].IsZero() {
+						t.Fatalf("m=%d alpha=%d: punctured slot not zero", m, alpha)
+					}
+					continue
+				}
+				if got[j] != msgs[j] {
+					t.Fatalf("m=%d alpha=%d: message %d mismatch", m, alpha, j)
+				}
+			}
+			// COT budget: exactly log2(m).
+			wantUsed := 0
+			for v := m; v > 1; v >>= 1 {
+				wantUsed++
+			}
+			if sp.Used() != wantUsed {
+				t.Fatalf("m=%d: consumed %d COTs, want %d", m, sp.Used(), wantUsed)
+			}
+		}
+	}
+}
+
+func TestAllButOneRejectsBadArgs(t *testing.T) {
+	sp, rp := pools(t, 8)
+	h := aesprg.NewHash()
+	a, _ := transport.Pipe()
+	if err := SendAllButOne(a, sp, h, make([]block.Block, 3)); err == nil {
+		t.Fatal("expected error for non-power-of-two count")
+	}
+	if _, err := ReceiveAllButOne(a, rp, h, 4, 4); err == nil {
+		t.Fatal("expected error for alpha out of range")
+	}
+	if _, err := ReceiveAllButOne(a, rp, h, 0, 0); err == nil {
+		t.Fatal("expected error for m=0")
+	}
+}
+
+func BenchmarkChosenOT(b *testing.B) {
+	h := aesprg.NewHash()
+	const batch = 128
+	msgs := make([][2]block.Block, batch)
+	choices := make([]bool, batch)
+	for i := 0; i < b.N; i++ {
+		sp, rp, _ := RandomPools(batch)
+		x, y := transport.Pipe()
+		go func() { _ = SendChosen(x, sp, h, msgs) }()
+		if _, err := ReceiveChosen(y, rp, h, choices); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

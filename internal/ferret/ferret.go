@@ -1,0 +1,252 @@
+// Package ferret implements the PCG-style OT extension protocol the
+// paper profiles and accelerates (Ferret, Yang et al. CCS'20; §2.3).
+//
+// One protocol instance works in iterations. Initialization runs 128
+// public-key base OTs and one IKNP extension to obtain the first
+// Reserve() = k + t·log2(ℓ) COT correlations. Every Extend() then:
+//
+//  1. runs the interactive MPCOT step — t GGM trees of ℓ leaves,
+//     punctured through (m-1)-out-of-m OTs (§4) — producing the sparse
+//     correlation (w; u, v) of length n;
+//  2. consumes k carried-over COTs (r; e, s) as the LPN input;
+//  3. locally encodes z = r·A ⊕ w (sender) and x = e·A ⊕ u,
+//     y = s·A ⊕ v (receiver), yielding n fresh COTs z = y ⊕ x·Δ;
+//  4. reserves the last Reserve() outputs to feed the next iteration
+//     and hands the caller the remaining Usable() correlations.
+//
+// Security model: semi-honest, 128-bit computational security; the
+// malicious-consistency check of the original paper is out of scope
+// (DESIGN.md).
+package ferret
+
+import (
+	"crypto/rand"
+	"fmt"
+
+	"ironman/internal/aesprg"
+	"ironman/internal/block"
+	"ironman/internal/cot"
+	"ironman/internal/iknp"
+	"ironman/internal/lpn"
+	"ironman/internal/mpcot"
+	"ironman/internal/prg"
+	"ironman/internal/transport"
+)
+
+// DefaultCodeSeed is the public seed both parties use to derive the
+// fixed LPN matrix A. Fixing it in the package mirrors the fixed public
+// code of real deployments.
+var DefaultCodeSeed = block.New(0x69726f6e6d616e21, 0x6c706e2d636f6465)
+
+// Options configures a protocol instance.
+type Options struct {
+	// PRG is the GGM expansion PRG; nil selects the Ironman design
+	// point, the 4-ary ChaCha8 construction.
+	PRG prg.PRG
+	// CodeSeed overrides the public LPN code seed.
+	CodeSeed block.Block
+}
+
+func (o *Options) fill() {
+	if o.PRG == nil {
+		o.PRG = prg.New(prg.ChaCha8, 4)
+	}
+	if o.CodeSeed == (block.Block{}) {
+		o.CodeSeed = DefaultCodeSeed
+	}
+}
+
+// Sender is the OTE sender (holder of the global Δ).
+type Sender struct {
+	conn   transport.Conn
+	params Params
+	prg    prg.PRG
+	hash   *aesprg.Hash
+	code   *lpn.Code
+	pool   *cot.SenderPool
+	Delta  block.Block
+	// Iterations counts completed Extend calls.
+	Iterations int
+}
+
+// Receiver is the OTE receiver.
+type Receiver struct {
+	conn       transport.Conn
+	params     Params
+	prg        prg.PRG
+	hash       *aesprg.Hash
+	code       *lpn.Code
+	pool       *cot.ReceiverPool
+	Iterations int
+}
+
+// NewSender initializes the sender: base OTs + one IKNP extension for
+// the first reserve of correlations.
+func NewSender(conn transport.Conn, delta block.Block, params Params, opts Options) (*Sender, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	opts.fill()
+	ik, err := iknp.NewSender(conn, delta)
+	if err != nil {
+		return nil, fmt.Errorf("ferret init: %w", err)
+	}
+	r0, err := ik.Extend(params.Reserve())
+	if err != nil {
+		return nil, fmt.Errorf("ferret init extend: %w", err)
+	}
+	return &Sender{
+		conn:   conn,
+		params: params,
+		prg:    opts.PRG,
+		hash:   aesprg.NewHash(),
+		code:   lpn.New(opts.CodeSeed, params.N, params.K, params.D),
+		pool:   cot.NewSenderPool(delta, r0),
+		Delta:  delta,
+	}, nil
+}
+
+// NewReceiver initializes the receiver half.
+func NewReceiver(conn transport.Conn, params Params, opts Options) (*Receiver, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	opts.fill()
+	ik, err := iknp.NewReceiver(conn)
+	if err != nil {
+		return nil, fmt.Errorf("ferret init: %w", err)
+	}
+	choices := make([]bool, params.Reserve())
+	buf := make([]byte, (len(choices)+7)/8)
+	if _, err := rand.Read(buf); err != nil {
+		return nil, err
+	}
+	for i := range choices {
+		choices[i] = buf[i/8]>>uint(i%8)&1 == 1
+	}
+	rb, err := ik.Extend(choices)
+	if err != nil {
+		return nil, fmt.Errorf("ferret init extend: %w", err)
+	}
+	return &Receiver{
+		conn:   conn,
+		params: params,
+		prg:    opts.PRG,
+		hash:   aesprg.NewHash(),
+		code:   lpn.New(opts.CodeSeed, params.N, params.K, params.D),
+		pool:   cot.NewReceiverPool(choices, rb),
+	}, nil
+}
+
+func (s *Sender) mpcotConfig() mpcot.Config {
+	return mpcot.Config{N: s.params.N, Leaves: s.params.L, T: s.params.T}
+}
+
+func (r *Receiver) mpcotConfig() mpcot.Config {
+	return mpcot.Config{N: r.params.N, Leaves: r.params.L, T: r.params.T}
+}
+
+// Extend runs one protocol iteration and returns Usable() fresh r0
+// blocks (r1 = r0 ⊕ Δ implied).
+func (s *Sender) Extend() ([]block.Block, error) {
+	// Step 1: interactive SPCOT phase.
+	w, err := mpcot.Send(s.conn, s.pool, s.hash, s.prg, s.mpcotConfig())
+	if err != nil {
+		return nil, fmt.Errorf("ferret extend (spcot): %w", err)
+	}
+	// Step 2: LPN input from the carried-over reserve.
+	r, err := s.pool.TakeBlocks(s.params.K)
+	if err != nil {
+		return nil, fmt.Errorf("ferret extend (lpn input): %w", err)
+	}
+	// Step 3: local LPN encoding, z = r·A ⊕ w.
+	z := make([]block.Block, s.params.N)
+	s.code.EncodeBlocks(z, r, w)
+	// Step 4: bootstrap the next iteration from the tail.
+	usable := s.params.Usable()
+	s.pool = cot.NewSenderPool(s.Delta, z[usable:])
+	s.Iterations++
+	return z[:usable], nil
+}
+
+// ReceiverOutput is one iteration's receiver-side yield: choice bits
+// and the matching r_b blocks.
+type ReceiverOutput struct {
+	Bits   []bool
+	Blocks []block.Block
+}
+
+// Extend runs one protocol iteration on the receiver side.
+func (r *Receiver) Extend() (*ReceiverOutput, error) {
+	cfg := r.mpcotConfig()
+	alphas, err := cfg.RandomAlphas()
+	if err != nil {
+		return nil, err
+	}
+	v, err := mpcot.Receive(r.conn, r.pool, r.hash, r.prg, cfg, alphas)
+	if err != nil {
+		return nil, fmt.Errorf("ferret extend (spcot): %w", err)
+	}
+	e, sBlocks, err := r.pool.Take(r.params.K)
+	if err != nil {
+		return nil, fmt.Errorf("ferret extend (lpn input): %w", err)
+	}
+	y := make([]block.Block, r.params.N)
+	r.code.EncodeBlocks(y, sBlocks, v)
+	x := make([]bool, r.params.N)
+	r.code.EncodeBits(x, e, alphas)
+
+	usable := r.params.Usable()
+	r.pool = cot.NewReceiverPool(x[usable:], y[usable:])
+	r.Iterations++
+	return &ReceiverOutput{Bits: x[:usable], Blocks: y[:usable]}, nil
+}
+
+// DealPools is the trusted-dealer shortcut: it returns an initialized
+// Sender/Receiver pair over conn whose first reserve comes from local
+// randomness instead of base OT + IKNP. Tests and benchmarks that study
+// post-init behaviour (which is what the paper accelerates) use this to
+// skip the one-time init cost.
+func DealPools(connS, connR transport.Conn, delta block.Block, params Params, opts Options) (*Sender, *Receiver, error) {
+	if err := params.Validate(); err != nil {
+		return nil, nil, err
+	}
+	opts.fill()
+	sp, rp, err := cot.RandomPoolsWithDelta(delta, params.Reserve())
+	if err != nil {
+		return nil, nil, err
+	}
+	code := lpn.New(opts.CodeSeed, params.N, params.K, params.D)
+	s := &Sender{
+		conn: connS, params: params, prg: opts.PRG, hash: aesprg.NewHash(),
+		code: code, pool: sp, Delta: delta,
+	}
+	r := &Receiver{
+		conn: connR, params: params, prg: opts.PRG, hash: aesprg.NewHash(),
+		code: code, pool: rp,
+	}
+	return s, r, nil
+}
+
+// Params returns the active parameter set.
+func (s *Sender) Params() Params   { return s.params }
+func (r *Receiver) Params() Params { return r.params }
+
+// Check verifies a batch of correlations against Δ: z[i] must equal
+// y[i] ⊕ x[i]·Δ. Only tests and the examples use it (a real receiver
+// never sees Δ).
+func Check(delta block.Block, z []block.Block, out *ReceiverOutput) error {
+	if len(z) != len(out.Bits) || len(z) != len(out.Blocks) {
+		return fmt.Errorf("ferret: length mismatch %d/%d/%d", len(z), len(out.Bits), len(out.Blocks))
+	}
+	for i := range z {
+		want := out.Blocks[i]
+		if out.Bits[i] {
+			want = want.Xor(delta)
+		}
+		if z[i] != want {
+			return fmt.Errorf("ferret: correlation broken at %d", i)
+		}
+	}
+	return nil
+}

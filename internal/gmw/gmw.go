@@ -1,0 +1,260 @@
+// Package gmw is a minimal two-party GMW engine over XOR-shared bits,
+// the protocol layer PPML frameworks build their nonlinear functions on
+// (§2.2 of the Ironman paper): comparisons, multiplexers and the other
+// Boolean building blocks of ReLU/GELU evaluation all reduce to XOR
+// (free) and AND gates, where every AND consumes oblivious transfers.
+//
+// An AND gate on shares x = x_A ⊕ x_B, y = y_A ⊕ y_B needs the two
+// cross terms x_A·y_B and x_B·y_A. Each cross term costs one 1-of-2
+// chosen OT — and the two terms need OTs in *opposite directions*,
+// which is exactly the role-switching requirement that motivates the
+// paper's unified sender/receiver architecture (§5.2): each party runs
+// one OT-extension instance as sender and one as receiver.
+package gmw
+
+import (
+	"crypto/rand"
+	"fmt"
+
+	"ironman/internal/aesprg"
+	"ironman/internal/block"
+	"ironman/internal/cot"
+	"ironman/internal/transport"
+)
+
+// Party is one side of a GMW evaluation. Each party holds a COT pool
+// for each direction: Out (this party is OT sender) and In (receiver).
+type Party struct {
+	conn transport.Conn
+	hash *aesprg.Hash
+	// Out: correlations where this party is the OT sender.
+	Out *cot.SenderPool
+	// In: correlations where this party is the OT receiver.
+	In *cot.ReceiverPool
+	// first breaks the symmetry of message ordering: exactly one party
+	// must have it set.
+	first bool
+
+	ANDGates int // consumed AND gates (2 OTs each)
+}
+
+// NewParty assembles a GMW party from its two correlation pools.
+// Exactly one of the two parties must set first=true (by convention
+// the protocol initiator).
+func NewParty(conn transport.Conn, out *cot.SenderPool, in *cot.ReceiverPool, first bool) *Party {
+	return &Party{conn: conn, hash: aesprg.NewHash(), Out: out, In: in, first: first}
+}
+
+// Share is an XOR-shared bit vector: each party holds one of these and
+// the logical value is the element-wise XOR.
+type Share []bool
+
+// NewPublic builds a share of a public constant: the first party holds
+// the value, the other zero.
+func (p *Party) NewPublic(bits []bool) Share {
+	s := make(Share, len(bits))
+	if p.first {
+		copy(s, bits)
+	}
+	return s
+}
+
+// NewPrivate builds a share of this party's private input: this party
+// holds the bits, the peer's share is zero. Both parties must call it
+// in matching order, with owner telling whose input it is.
+func (p *Party) NewPrivate(bits []bool, mine bool) Share {
+	s := make(Share, len(bits))
+	if mine {
+		copy(s, bits)
+	}
+	return s
+}
+
+// Xor is a free local gate.
+func Xor(a, b Share) Share {
+	if len(a) != len(b) {
+		panic("gmw: Xor length mismatch")
+	}
+	out := make(Share, len(a))
+	for i := range a {
+		out[i] = a[i] != b[i]
+	}
+	return out
+}
+
+// Not flips a shared bit: only the first party flips its share.
+func (p *Party) Not(a Share) Share {
+	out := make(Share, len(a))
+	copy(out, a)
+	if p.first {
+		for i := range out {
+			out[i] = !out[i]
+		}
+	}
+	return out
+}
+
+// bitBlock embeds a bit in a block's LSB.
+func bitBlock(b bool) block.Block {
+	if b {
+		return block.New(1, 0)
+	}
+	return block.Block{}
+}
+
+// And evaluates element-wise AND over shares, consuming two chosen OTs
+// per element (one in each direction). Both parties call And with
+// their share; the engine serializes the two OT passes by the `first`
+// flag so the message flights interleave deterministically.
+func (p *Party) And(a, b Share) (Share, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("gmw: And length mismatch")
+	}
+	n := len(a)
+	out := make(Share, n)
+	// Local term a_i·b_i.
+	for i := range out {
+		out[i] = a[i] && b[i]
+	}
+
+	send := func() error {
+		// This party is OT sender for the cross term (my a) x (peer b):
+		// messages (s, s ⊕ a_i) under a fresh secret mask s; my share
+		// gains s.
+		msgs := make([][2]block.Block, n)
+		masks := make([]bool, n)
+		buf := make([]byte, (n+7)/8)
+		if _, err := rand.Read(buf); err != nil {
+			return err
+		}
+		for i := range msgs {
+			mbit := buf[i/8]>>uint(i%8)&1 == 1
+			masks[i] = mbit
+			msgs[i][0] = bitBlock(mbit)
+			msgs[i][1] = bitBlock(mbit != a[i])
+		}
+		if err := cot.SendChosen(p.conn, p.Out, p.hash, msgs); err != nil {
+			return err
+		}
+		for i := range out {
+			out[i] = out[i] != masks[i]
+		}
+		return nil
+	}
+	recv := func() error {
+		// This party is OT receiver with choice bits b: learns s ⊕ a·b.
+		got, err := cot.ReceiveChosen(p.conn, p.In, p.hash, b)
+		if err != nil {
+			return err
+		}
+		for i := range out {
+			out[i] = out[i] != (got[i].Bit(0) == 1)
+		}
+		return nil
+	}
+
+	var err error
+	if p.first {
+		if err = send(); err == nil {
+			err = recv()
+		}
+	} else {
+		if err = recv(); err == nil {
+			err = send()
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.ANDGates += n
+	return out, nil
+}
+
+// Reveal opens a share to both parties.
+func (p *Party) Reveal(a Share) ([]bool, error) {
+	if p.first {
+		if err := transport.SendBits(p.conn, a); err != nil {
+			return nil, err
+		}
+		peer, err := transport.RecvBits(p.conn, len(a))
+		if err != nil {
+			return nil, err
+		}
+		return Xor(a, peer), nil
+	}
+	peer, err := transport.RecvBits(p.conn, len(a))
+	if err != nil {
+		return nil, err
+	}
+	if err := transport.SendBits(p.conn, a); err != nil {
+		return nil, err
+	}
+	return Xor(a, peer), nil
+}
+
+// GreaterThan compares two shared unsigned integers given LSB-first bit
+// shares, returning a 1-bit share of (x > y). The ripple comparator
+// costs 2 AND gates per bit:
+//
+//	gt_i = (x_i ∧ ¬y_i) ⊕ (¬(x_i⊕y_i) ∧ gt_{i-1})
+func (p *Party) GreaterThan(x, y Share) (Share, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("gmw: GreaterThan length mismatch")
+	}
+	gt := make(Share, 1)
+	for i := 0; i < len(x); i++ {
+		xi := Share{x[i]}
+		yi := Share{y[i]}
+		t1, err := p.And(xi, p.Not(yi))
+		if err != nil {
+			return nil, err
+		}
+		eq := p.Not(Xor(xi, yi))
+		t2, err := p.And(eq, gt)
+		if err != nil {
+			return nil, err
+		}
+		gt = Xor(t1, t2)
+	}
+	return gt, nil
+}
+
+// Mux selects bit-wise between two shared vectors by a shared condition
+// bit: out = c ? a : b = b ⊕ c·(a⊕b). Costs len(a) AND gates. This is
+// the multiplexer CrypTFlow2 builds ReLU from (§5.2 mentions its
+// two-directional OT use).
+func (p *Party) Mux(c Share, a, b Share) (Share, error) {
+	if len(c) != 1 || len(a) != len(b) {
+		return nil, fmt.Errorf("gmw: Mux shape mismatch")
+	}
+	d := Xor(a, b)
+	cs := make(Share, len(a))
+	for i := range cs {
+		cs[i] = c[0]
+	}
+	t, err := p.And(cs, d)
+	if err != nil {
+		return nil, err
+	}
+	return Xor(b, t), nil
+}
+
+// Uint64Bits returns the LSB-first bit decomposition of v.
+func Uint64Bits(v uint64, width int) []bool {
+	bits := make([]bool, width)
+	for i := range bits {
+		bits[i] = v>>uint(i)&1 == 1
+	}
+	return bits
+}
+
+// BitsUint64 re-composes LSB-first bits.
+func BitsUint64(bits []bool) uint64 {
+	var v uint64
+	for i, b := range bits {
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}

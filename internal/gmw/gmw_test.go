@@ -1,0 +1,234 @@
+package gmw
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ironman/internal/cot"
+	"ironman/internal/transport"
+)
+
+// parties wires two GMW parties with dealer COT pools in both
+// directions.
+func parties(t *testing.T, budget int) (*Party, *Party) {
+	t.Helper()
+	connA, connB := transport.Pipe()
+	sAB, rAB, err := cot.RandomPools(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBA, rBA, err := cot.RandomPools(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewParty(connA, sAB, rBA, true)
+	b := NewParty(connB, sBA, rAB, false)
+	return a, b
+}
+
+// run2 executes fa and fb concurrently (the two protocol parties).
+func run2(t *testing.T, fa, fb func() error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var errA error
+	go func() {
+		defer wg.Done()
+		errA = fa()
+	}()
+	if err := fb(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if errA != nil {
+		t.Fatal(errA)
+	}
+}
+
+func TestAndTruthTable(t *testing.T) {
+	for _, xa := range []bool{false, true} {
+		for _, yb := range []bool{false, true} {
+			a, b := parties(t, 8)
+			var ra, rb Share
+			run2(t, func() error {
+				xs := a.NewPrivate([]bool{xa}, true)
+				ys := a.NewPrivate([]bool{false}, false)
+				z, err := a.And(xs, ys)
+				if err != nil {
+					return err
+				}
+				open, err := a.Reveal(z)
+				ra = open
+				return err
+			}, func() error {
+				xs := b.NewPrivate([]bool{false}, false)
+				ys := b.NewPrivate([]bool{yb}, true)
+				z, err := b.And(xs, ys)
+				if err != nil {
+					return err
+				}
+				open, err := b.Reveal(z)
+				rb = open
+				return err
+			})
+			want := xa && yb
+			if ra[0] != want || rb[0] != want {
+				t.Fatalf("AND(%v,%v) = %v/%v, want %v", xa, yb, ra[0], rb[0], want)
+			}
+		}
+	}
+}
+
+func TestXorNotLocal(t *testing.T) {
+	a, _ := parties(t, 1)
+	x := Share{true, false, true}
+	y := Share{true, true, false}
+	z := Xor(x, y)
+	if z[0] || !z[1] || !z[2] {
+		t.Fatal("Xor wrong")
+	}
+	n := a.Not(Share{false})
+	if !n[0] {
+		t.Fatal("first party must flip on Not")
+	}
+}
+
+func TestGreaterThanExhaustive4Bit(t *testing.T) {
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			a, b := parties(t, 64)
+			var got bool
+			run2(t, func() error {
+				xs := a.NewPrivate(Uint64Bits(x, 4), true)
+				ys := a.NewPrivate(make([]bool, 4), false)
+				gt, err := a.GreaterThan(xs, ys)
+				if err != nil {
+					return err
+				}
+				open, err := a.Reveal(gt)
+				if err != nil {
+					return err
+				}
+				got = open[0]
+				return nil
+			}, func() error {
+				xs := b.NewPrivate(make([]bool, 4), false)
+				ys := b.NewPrivate(Uint64Bits(y, 4), true)
+				gt, err := b.GreaterThan(xs, ys)
+				if err != nil {
+					return err
+				}
+				_, err = b.Reveal(gt)
+				return err
+			})
+			if got != (x > y) {
+				t.Fatalf("GreaterThan(%d,%d) = %v", x, y, got)
+			}
+		}
+	}
+}
+
+func TestGreaterThanRandom32Bit(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		x := uint64(rng.Uint32())
+		y := uint64(rng.Uint32())
+		a, b := parties(t, 2*32+8)
+		var got bool
+		run2(t, func() error {
+			xs := a.NewPrivate(Uint64Bits(x, 32), true)
+			ys := a.NewPrivate(make([]bool, 32), false)
+			gt, err := a.GreaterThan(xs, ys)
+			if err != nil {
+				return err
+			}
+			open, err := a.Reveal(gt)
+			got = open[0]
+			return err
+		}, func() error {
+			xs := b.NewPrivate(make([]bool, 32), false)
+			ys := b.NewPrivate(Uint64Bits(y, 32), true)
+			gt, err := b.GreaterThan(xs, ys)
+			if err != nil {
+				return err
+			}
+			_, err = b.Reveal(gt)
+			return err
+		})
+		if got != (x > y) {
+			t.Fatalf("GreaterThan(%d,%d) = %v", x, y, got)
+		}
+		if a.ANDGates != 64 {
+			t.Fatalf("32-bit compare should cost 64 ANDs, used %d", a.ANDGates)
+		}
+	}
+}
+
+func TestMux(t *testing.T) {
+	for _, c := range []bool{false, true} {
+		a, b := parties(t, 32)
+		av := Uint64Bits(0xA5, 8)
+		bv := Uint64Bits(0x3C, 8)
+		var got uint64
+		run2(t, func() error {
+			cs := a.NewPrivate([]bool{c}, true)
+			x := a.NewPublic(av)
+			y := a.NewPublic(bv)
+			z, err := a.Mux(cs, x, y)
+			if err != nil {
+				return err
+			}
+			open, err := a.Reveal(z)
+			got = BitsUint64(open)
+			return err
+		}, func() error {
+			cs := b.NewPrivate([]bool{false}, false)
+			x := b.NewPublic(av)
+			y := b.NewPublic(bv)
+			z, err := b.Mux(cs, x, y)
+			if err != nil {
+				return err
+			}
+			_, err = b.Reveal(z)
+			return err
+		})
+		want := uint64(0x3C)
+		if c {
+			want = 0xA5
+		}
+		if got != want {
+			t.Fatalf("Mux(c=%v) = %#x, want %#x", c, got, want)
+		}
+	}
+}
+
+func TestBitHelpers(t *testing.T) {
+	v := uint64(0b1011)
+	bits := Uint64Bits(v, 6)
+	if !bits[0] || !bits[1] || bits[2] || !bits[3] || bits[4] {
+		t.Fatal("Uint64Bits wrong")
+	}
+	if BitsUint64(bits) != v {
+		t.Fatal("BitsUint64 round trip")
+	}
+}
+
+func TestShapeMismatchErrors(t *testing.T) {
+	a, _ := parties(t, 4)
+	if _, err := a.And(Share{true}, Share{true, false}); err == nil {
+		t.Fatal("And must reject length mismatch")
+	}
+	if _, err := a.GreaterThan(Share{true}, Share{}); err == nil {
+		t.Fatal("GreaterThan must reject length mismatch")
+	}
+	if _, err := a.Mux(Share{true, false}, Share{true}, Share{true}); err == nil {
+		t.Fatal("Mux must reject bad condition shape")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Xor must panic on mismatch")
+		}
+	}()
+	Xor(Share{true}, Share{})
+}

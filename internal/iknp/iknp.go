@@ -1,0 +1,162 @@
+// Package iknp implements the IKNP03 OT extension in its correlated-OT
+// form. It is both one of the three OTE families the paper surveys
+// (§2.3) and the initializer of the PCG-style protocol: Ferret's first
+// iteration needs k + t·log2(ℓ) COT correlations, which IKNP produces
+// from 128 public-key base OTs at one column of communication per
+// extended COT.
+//
+// Construction (semi-honest): the extension sender's global Δ doubles
+// as its base-OT choice vector s. The extension receiver plays base-OT
+// sender with random key pairs (k_i^0, k_i^1); for n extended COTs it
+// sends u_i = PRG(k_i^0) ⊕ PRG(k_i^1) ⊕ x (x = its choice bits), and
+// the sender computes q_i = PRG(k_i^{s_i}) ⊕ s_i·u_i. Row j of the
+// transposed matrix satisfies q_j = t_j ⊕ x_j·s — a COT with Δ = s.
+package iknp
+
+import (
+	"fmt"
+
+	"ironman/internal/aesprg"
+	"ironman/internal/baseot"
+	"ironman/internal/block"
+	"ironman/internal/transport"
+)
+
+const kappa = 128 // computational security parameter / matrix width
+
+// Sender is the OT-extension sender (holder of Δ).
+type Sender struct {
+	conn  transport.Conn
+	Delta block.Block
+	keys  []block.Block // k_i^{s_i}
+	ctr   uint64        // PRG stream position, advanced per Extend
+}
+
+// Receiver is the OT-extension receiver.
+type Receiver struct {
+	conn  transport.Conn
+	keys0 []block.Block
+	keys1 []block.Block
+	ctr   uint64
+}
+
+// NewSender establishes the extension sender: it runs kappa base OTs as
+// the base-OT *receiver*, choosing with the bits of delta.
+func NewSender(conn transport.Conn, delta block.Block) (*Sender, error) {
+	choices := make([]bool, kappa)
+	for i := range choices {
+		choices[i] = delta.Bit(i) == 1
+	}
+	keys, err := baseot.Receive(conn, choices)
+	if err != nil {
+		return nil, fmt.Errorf("iknp: base OT: %w", err)
+	}
+	return &Sender{conn: conn, Delta: delta, keys: keys}, nil
+}
+
+// NewReceiver establishes the extension receiver: it runs kappa base
+// OTs as the base-OT *sender*.
+func NewReceiver(conn transport.Conn) (*Receiver, error) {
+	pairs, err := baseot.Send(conn, kappa)
+	if err != nil {
+		return nil, fmt.Errorf("iknp: base OT: %w", err)
+	}
+	r := &Receiver{conn: conn, keys0: make([]block.Block, kappa), keys1: make([]block.Block, kappa)}
+	for i, p := range pairs {
+		r.keys0[i] = p[0]
+		r.keys1[i] = p[1]
+	}
+	return r, nil
+}
+
+// stream returns an AES-CTR PRG positioned at offset ctr (in bytes) of
+// the keystream for key. Both parties advance ctr identically across
+// Extend calls so extensions are independent.
+func stream(key block.Block, ctr uint64) *aesprg.Stream {
+	s := aesprg.NewStream(key)
+	skip := make([]byte, 4096)
+	for ctr > 0 {
+		n := uint64(len(skip))
+		if ctr < n {
+			n = ctr
+		}
+		s.Fill(skip[:n])
+		ctr -= n
+	}
+	return s
+}
+
+// Extend produces n more COT correlations: the returned blocks are the
+// sender's r0 values (r1 = r0 ⊕ Δ implied).
+func (s *Sender) Extend(n int) ([]block.Block, error) {
+	nb := (n + 7) / 8
+	u, err := s.conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if len(u) != kappa*nb {
+		return nil, fmt.Errorf("iknp: expected %d matrix bytes, got %d", kappa*nb, len(u))
+	}
+	q := make([][]byte, kappa)
+	for i := 0; i < kappa; i++ {
+		col := make([]byte, nb)
+		stream(s.keys[i], s.ctr).Fill(col)
+		if s.Delta.Bit(i) == 1 {
+			ui := u[i*nb : (i+1)*nb]
+			for j := range col {
+				col[j] ^= ui[j]
+			}
+		}
+		q[i] = col
+	}
+	s.ctr += uint64(nb)
+	return transpose(q, n), nil
+}
+
+// Extend produces the receiver's side for the given choice bits: the
+// returned blocks satisfy r_b[j] = r0[j] ⊕ choices[j]·Δ.
+func (r *Receiver) Extend(choices []bool) ([]block.Block, error) {
+	n := len(choices)
+	nb := (n + 7) / 8
+	x := make([]byte, nb)
+	for j, c := range choices {
+		if c {
+			x[j/8] |= 1 << uint(j%8)
+		}
+	}
+	t := make([][]byte, kappa)
+	u := make([]byte, kappa*nb)
+	for i := 0; i < kappa; i++ {
+		t0 := make([]byte, nb)
+		stream(r.keys0[i], r.ctr).Fill(t0)
+		t1 := make([]byte, nb)
+		stream(r.keys1[i], r.ctr).Fill(t1)
+		ui := u[i*nb : (i+1)*nb]
+		for j := 0; j < nb; j++ {
+			ui[j] = t0[j] ^ t1[j] ^ x[j]
+		}
+		t[i] = t0
+	}
+	r.ctr += uint64(nb)
+	if err := r.conn.Send(u); err != nil {
+		return nil, err
+	}
+	return transpose(t, n), nil
+}
+
+// transpose converts kappa column bit-vectors into n row blocks: row j
+// has bit i equal to bit j of column i.
+func transpose(cols [][]byte, n int) []block.Block {
+	rows := make([]block.Block, n)
+	// Process 8 rows at a time: byte j8 of column i contributes one bit
+	// to each of rows 8j8..8j8+7.
+	for i := 0; i < kappa; i++ {
+		col := cols[i]
+		for j := 0; j < n; j++ {
+			if col[j/8]>>uint(j%8)&1 == 1 {
+				rows[j] = rows[j].SetBit(i, 1)
+			}
+		}
+	}
+	return rows
+}

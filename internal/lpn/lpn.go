@@ -1,0 +1,126 @@
+// Package lpn implements the local linear code used by PCG-style OT
+// extension (§2.3.2 of the paper): a d-regular sparse binary matrix A
+// (k columns, n rows when viewed output-major) fixed once per parameter
+// set. Encoding is the memory-bound half of the protocol:
+//
+//	sender:    z = r·A ⊕ w            (blocks)
+//	receiver:  x = e·A ⊕ u            (bits)
+//	           y = s·A ⊕ v            (blocks)
+//
+// where every output row XORs d=10 randomly indexed entries of the
+// length-k input — the irregular access pattern the Ironman NMP
+// architecture attacks with rank parallelism, a memory-side cache and
+// compile-time index sorting (implemented in sort.go).
+package lpn
+
+import (
+	"fmt"
+
+	"ironman/internal/aesprg"
+	"ironman/internal/block"
+)
+
+// DefaultD is the row weight of the baseline parameter sets (each
+// output depends on exactly 10 input positions).
+const DefaultD = 10
+
+// Code is a fixed d-regular sparse matrix in the compressed form the
+// paper calls CSR-with-implicit-values: only the column indices are
+// stored (all values are 1, all rows have exactly D entries, so Rowptr
+// is implicit).
+type Code struct {
+	N, K, D int
+	// idx holds the column indices row-major: row i uses
+	// idx[i*D : (i+1)*D].
+	idx []uint32
+}
+
+// New derives the code for (n, k, d) from seed. The derivation is a
+// deterministic AES-CTR stream, mirroring how both parties of the real
+// protocol regenerate the same fixed matrix A from a public seed. The d
+// indices within a row are distinct (regular code).
+func New(seed block.Block, n, k, d int) *Code {
+	if n < 1 || k < d || d < 1 {
+		panic(fmt.Sprintf("lpn: bad dimensions n=%d k=%d d=%d", n, k, d))
+	}
+	s := aesprg.NewStream(seed)
+	c := &Code{N: n, K: k, D: d, idx: make([]uint32, n*d)}
+	for i := 0; i < n; i++ {
+		row := c.idx[i*d : (i+1)*d]
+		for j := 0; j < d; j++ {
+		draw:
+			v := s.Uint32n(uint32(k))
+			for jj := 0; jj < j; jj++ {
+				if row[jj] == v {
+					goto draw
+				}
+			}
+			row[j] = v
+		}
+	}
+	return c
+}
+
+// Row returns the column indices of row i (shared storage, do not
+// modify).
+func (c *Code) Row(i int) []uint32 { return c.idx[i*c.D : (i+1)*c.D] }
+
+// EncodeBlocks computes out[i] = w[i] ⊕ XOR_j r[A_i,j] for every row.
+// w may be nil, in which case the pure syndrome r·A is produced.
+// out must have length N and r length K.
+func (c *Code) EncodeBlocks(out, r, w []block.Block) {
+	if len(out) != c.N || len(r) != c.K {
+		panic("lpn: EncodeBlocks dimension mismatch")
+	}
+	if w != nil && len(w) != c.N {
+		panic("lpn: EncodeBlocks w dimension mismatch")
+	}
+	for i := 0; i < c.N; i++ {
+		var acc block.Block
+		for _, j := range c.idx[i*c.D : (i+1)*c.D] {
+			acc.Lo ^= r[j].Lo
+			acc.Hi ^= r[j].Hi
+		}
+		if w != nil {
+			acc = acc.Xor(w[i])
+		}
+		out[i] = acc
+	}
+}
+
+// EncodeBits computes out[i] = u[i] ⊕ XOR_j e[A_i,j] over GF(2).
+// u is given as a sparse set of positions (the MPCOT noise positions);
+// positions >= N are ignored.
+func (c *Code) EncodeBits(out, e []bool, points []int) {
+	if len(out) != c.N || len(e) != c.K {
+		panic("lpn: EncodeBits dimension mismatch")
+	}
+	for i := 0; i < c.N; i++ {
+		acc := false
+		for _, j := range c.idx[i*c.D : (i+1)*c.D] {
+			acc = acc != e[j]
+		}
+		out[i] = acc
+	}
+	for _, p := range points {
+		if p < c.N {
+			out[p] = !out[p]
+		}
+	}
+}
+
+// AccessTrace invokes f for every input-vector access the encoder makes
+// in natural row order. Used by the cache and DRAM simulators; the
+// element addresses are indices into the length-K input vector.
+func (c *Code) AccessTrace(f func(col uint32)) {
+	for _, j := range c.idx {
+		f(j)
+	}
+}
+
+// FootprintBytes returns the resident size of the input vector plus the
+// index matrix, the quantity §3.2 compares against CPU caches (>900 MB
+// at 2^24 outputs).
+func (c *Code) FootprintBytes() int64 {
+	return int64(c.K)*block.Size + int64(len(c.idx))*4
+}

@@ -1,0 +1,200 @@
+package lpn
+
+import (
+	"math/rand"
+	"testing"
+
+	"ironman/internal/block"
+)
+
+func testCode(n, k int) *Code { return New(block.New(1, 2), n, k, DefaultD) }
+
+func TestNewCodeRegular(t *testing.T) {
+	c := testCode(500, 200)
+	if len(c.idx) != 500*DefaultD {
+		t.Fatal("index storage wrong size")
+	}
+	for i := 0; i < c.N; i++ {
+		row := c.Row(i)
+		seen := make(map[uint32]bool, len(row))
+		for _, j := range row {
+			if j >= uint32(c.K) {
+				t.Fatalf("row %d index %d out of range", i, j)
+			}
+			if seen[j] {
+				t.Fatalf("row %d has duplicate index %d", i, j)
+			}
+			seen[j] = true
+		}
+	}
+}
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(block.New(5, 6), 100, 50, 4)
+	b := New(block.New(5, 6), 100, 50, 4)
+	for i := range a.idx {
+		if a.idx[i] != b.idx[i] {
+			t.Fatal("same seed must give same code")
+		}
+	}
+	c := New(block.New(5, 7), 100, 50, 4)
+	same := true
+	for i := range a.idx {
+		if a.idx[i] != c.idx[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different codes")
+	}
+}
+
+// TestEncodeLinearity: encoding is linear over GF(2)^128, so
+// E(r1 ⊕ r2, w1 ⊕ w2) = E(r1, w1) ⊕ E(r2, w2).
+func TestEncodeLinearity(t *testing.T) {
+	c := testCode(64, 32)
+	rng := rand.New(rand.NewSource(4))
+	randBlocks := func(n int) []block.Block {
+		s := make([]block.Block, n)
+		for i := range s {
+			s[i] = block.New(rng.Uint64(), rng.Uint64())
+		}
+		return s
+	}
+	r1, r2 := randBlocks(32), randBlocks(32)
+	w1, w2 := randBlocks(64), randBlocks(64)
+	out1 := make([]block.Block, 64)
+	out2 := make([]block.Block, 64)
+	c.EncodeBlocks(out1, r1, w1)
+	c.EncodeBlocks(out2, r2, w2)
+
+	r12 := make([]block.Block, 32)
+	w12 := make([]block.Block, 64)
+	block.XorSlices(r12, r1, r2)
+	block.XorSlices(w12, w1, w2)
+	out12 := make([]block.Block, 64)
+	c.EncodeBlocks(out12, r12, w12)
+	for i := range out12 {
+		if out12[i] != out1[i].Xor(out2[i]) {
+			t.Fatalf("linearity broken at %d", i)
+		}
+	}
+}
+
+// TestCOTPreservation is the protocol-level property §2.3.2 relies on:
+// if the inputs are correlated (r = s ⊕ e·Δ element-wise, w = v ⊕ u·Δ)
+// then the outputs satisfy z = y ⊕ x·Δ.
+func TestCOTPreservation(t *testing.T) {
+	const n, k = 128, 48
+	c := testCode(n, k)
+	rng := rand.New(rand.NewSource(5))
+	delta := block.New(rng.Uint64(), rng.Uint64())
+
+	s := make([]block.Block, k)
+	e := make([]bool, k)
+	r := make([]block.Block, k)
+	for i := range s {
+		s[i] = block.New(rng.Uint64(), rng.Uint64())
+		e[i] = rng.Intn(2) == 1
+		r[i] = s[i]
+		if e[i] {
+			r[i] = r[i].Xor(delta)
+		}
+	}
+	points := []int{3, 77, 101}
+	v := make([]block.Block, n)
+	w := make([]block.Block, n)
+	isPoint := make(map[int]bool)
+	for _, p := range points {
+		isPoint[p] = true
+	}
+	for i := range v {
+		v[i] = block.New(rng.Uint64(), rng.Uint64())
+		w[i] = v[i]
+		if isPoint[i] {
+			w[i] = w[i].Xor(delta)
+		}
+	}
+
+	z := make([]block.Block, n)
+	y := make([]block.Block, n)
+	x := make([]bool, n)
+	c.EncodeBlocks(z, r, w)
+	c.EncodeBlocks(y, s, v)
+	c.EncodeBits(x, e, points)
+	for i := 0; i < n; i++ {
+		want := y[i]
+		if x[i] {
+			want = want.Xor(delta)
+		}
+		if z[i] != want {
+			t.Fatalf("output correlation broken at %d", i)
+		}
+	}
+}
+
+func TestEncodeBitsSparsePoints(t *testing.T) {
+	c := testCode(32, 16)
+	e := make([]bool, 16) // all zero
+	out := make([]bool, 32)
+	c.EncodeBits(out, e, []int{5, 31, 40}) // 40 ignored (>= n)
+	for i, b := range out {
+		want := i == 5 || i == 31
+		if b != want {
+			t.Fatalf("bit %d = %v, want %v", i, b, want)
+		}
+	}
+}
+
+func TestAccessTraceLength(t *testing.T) {
+	c := testCode(100, 40)
+	count := 0
+	c.AccessTrace(func(col uint32) {
+		if col >= 40 {
+			t.Fatalf("trace column %d out of range", col)
+		}
+		count++
+	})
+	if count != 100*DefaultD {
+		t.Fatalf("trace length = %d, want %d", count, 100*DefaultD)
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	c := testCode(1000, 400)
+	want := int64(400*16 + 1000*DefaultD*4)
+	if got := c.FootprintBytes(); got != want {
+		t.Fatalf("FootprintBytes = %d, want %d", got, want)
+	}
+}
+
+func TestPanicsOnBadDims(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(block.Zero, 0, 10, 4) },
+		func() { New(block.Zero, 10, 3, 4) },
+		func() { testCode(10, 40).EncodeBlocks(make([]block.Block, 9), make([]block.Block, 40), nil) },
+		func() { testCode(10, 40).EncodeBits(make([]bool, 10), make([]bool, 39), nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkEncodeBlocks(b *testing.B) {
+	const n, k = 1 << 16, 1 << 14
+	c := testCode(n, k)
+	r := make([]block.Block, k)
+	out := make([]block.Block, n)
+	b.SetBytes(int64(n * DefaultD * block.Size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.EncodeBlocks(out, r, nil)
+	}
+}

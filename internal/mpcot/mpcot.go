@@ -1,0 +1,140 @@
+// Package mpcot builds t-point correlated OT from t single-point
+// executions using the regular-index construction of Ferret: the output
+// range [0, n) is split into t consecutive buckets, each covered by one
+// GGM tree of ℓ leaves, and the receiver punctures one secret position
+// per bucket. The sparse vector u across all buckets is the "noise" the
+// LPN encoding compresses (Figure 3(a), step 1).
+package mpcot
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+
+	"ironman/internal/aesprg"
+	"ironman/internal/block"
+	"ironman/internal/cot"
+	"ironman/internal/prg"
+	"ironman/internal/spcot"
+	"ironman/internal/transport"
+)
+
+// Config describes one MPCOT execution.
+type Config struct {
+	N      int // output length
+	Leaves int // GGM tree size ℓ (power of two)
+	T      int // number of trees / noise positions
+}
+
+// Validate checks the basic shape of the configuration. t·ℓ may be
+// smaller than n (two of the paper's Table 4 rows have this): positions
+// beyond t·ℓ then carry no noise — u, w and v are zero there, which
+// only shortens the effective noise support, never breaks the output
+// correlation.
+func (c Config) Validate() error {
+	if c.N < 1 || c.Leaves < 2 || c.T < 1 {
+		return fmt.Errorf("mpcot: bad config %+v", c)
+	}
+	return nil
+}
+
+// Covered returns how many of the n output positions can carry noise.
+func (c Config) Covered() int {
+	if c.T*c.Leaves < c.N {
+		return c.T * c.Leaves
+	}
+	return c.N
+}
+
+// COTBudget is the number of COT correlations one execution consumes.
+func (c Config) COTBudget() int { return c.T * spcot.COTBudget(c.Leaves) }
+
+// bucketSpan returns the half-open output range [lo, hi) of bucket i,
+// clamped to [0, N): buckets at or beyond N come back empty (their
+// trees still run for protocol symmetry but contribute no output).
+func (c Config) bucketSpan(i int) (lo, hi int) {
+	lo = i * c.Leaves
+	hi = lo + c.Leaves
+	if hi > c.N {
+		hi = c.N
+	}
+	if lo > c.N {
+		lo = c.N
+	}
+	return lo, hi
+}
+
+// RandomAlphas draws one uniformly random punctured position per bucket
+// (within the part of the bucket that lies inside [0, N)).
+func (c Config) RandomAlphas() ([]int, error) {
+	alphas := make([]int, c.T)
+	for i := range alphas {
+		lo, hi := c.bucketSpan(i)
+		if hi <= lo {
+			// Bucket entirely beyond N: the tree is still expanded for
+			// protocol symmetry; puncture anywhere.
+			lo, hi = i*c.Leaves, i*c.Leaves+c.Leaves
+		}
+		v, err := rand.Int(rand.Reader, big.NewInt(int64(hi-lo)))
+		if err != nil {
+			return nil, err
+		}
+		alphas[i] = lo + int(v.Int64())
+	}
+	return alphas, nil
+}
+
+// Send runs the sender side: t SPCOT executions whose leaves are
+// concatenated and truncated to n blocks (the vector w).
+func Send(conn transport.Conn, pool *cot.SenderPool, h *aesprg.Hash, p prg.PRG, cfg Config) ([]block.Block, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := make([]block.Block, cfg.N)
+	for i := 0; i < cfg.T; i++ {
+		leaves, err := spcot.Send(conn, pool, h, p, cfg.Leaves)
+		if err != nil {
+			return nil, fmt.Errorf("mpcot tree %d: %w", i, err)
+		}
+		lo, hi := cfg.bucketSpan(i)
+		if hi > lo {
+			copy(w[lo:hi], leaves[:hi-lo])
+		}
+	}
+	return w, nil
+}
+
+// Receive runs the receiver side with one punctured position per
+// bucket. It returns v (length n); together with the one-hot positions
+// alphas the outputs satisfy w = v ⊕ u·Δ with u = Σ e_{alpha_i}.
+// Alphas beyond N are allowed (their tree output is discarded) but each
+// alphas[i] must fall inside bucket i.
+func Receive(conn transport.Conn, pool *cot.ReceiverPool, h *aesprg.Hash, p prg.PRG, cfg Config, alphas []int) ([]block.Block, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(alphas) != cfg.T {
+		return nil, fmt.Errorf("mpcot: need %d alphas, got %d", cfg.T, len(alphas))
+	}
+	// Validate all positions before any traffic, so a bad input fails
+	// cleanly rather than desynchronizing the two parties.
+	for i, a := range alphas {
+		lo := i * cfg.Leaves
+		if a < lo || a >= lo+cfg.Leaves {
+			return nil, fmt.Errorf("mpcot: alpha %d outside bucket %d", a, i)
+		}
+	}
+	v := make([]block.Block, cfg.N)
+	for i := 0; i < cfg.T; i++ {
+		lo := i * cfg.Leaves
+		leaves, err := spcot.Receive(conn, pool, h, p, cfg.Leaves, alphas[i]-lo)
+		if err != nil {
+			return nil, fmt.Errorf("mpcot tree %d: %w", i, err)
+		}
+		_, hi := cfg.bucketSpan(i)
+		if hi > lo {
+			copy(v[lo:hi], leaves)
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,165 @@
+package mpcot
+
+import (
+	"testing"
+
+	"ironman/internal/aesprg"
+	"ironman/internal/block"
+	"ironman/internal/cot"
+	"ironman/internal/prg"
+	"ironman/internal/transport"
+)
+
+func run(t *testing.T, cfg Config, alphas []int) (block.Block, []block.Block, []block.Block) {
+	t.Helper()
+	p := prg.New(prg.ChaCha8, 4)
+	sp, rp, err := cot.RandomPools(cfg.COTBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := aesprg.NewHash()
+	a, b := transport.Pipe()
+	type sres struct {
+		w   []block.Block
+		err error
+	}
+	ch := make(chan sres, 1)
+	go func() {
+		w, err := Send(a, sp, h, p, cfg)
+		ch <- sres{w, err}
+	}()
+	v, err := Receive(b, rp, h, p, cfg, alphas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := <-ch
+	if s.err != nil {
+		t.Fatal(s.err)
+	}
+	return sp.Delta, s.w, v
+}
+
+// checkMulti verifies w = v ⊕ u·Δ with u the indicator of alphas.
+func checkMulti(t *testing.T, delta block.Block, w, v []block.Block, alphas []int) {
+	t.Helper()
+	isAlpha := make(map[int]bool, len(alphas))
+	for _, a := range alphas {
+		isAlpha[a] = true
+	}
+	for i := range w {
+		want := v[i]
+		if isAlpha[i] {
+			want = want.Xor(delta)
+		}
+		if w[i] != want {
+			t.Fatalf("relation broken at %d", i)
+		}
+	}
+}
+
+func TestExactCover(t *testing.T) {
+	cfg := Config{N: 64, Leaves: 16, T: 4}
+	alphas := []int{3, 16, 40, 63}
+	delta, w, v := run(t, cfg, alphas)
+	checkMulti(t, delta, w, v, alphas)
+}
+
+func TestTruncatedLastBucket(t *testing.T) {
+	// n not a multiple of ℓ: the last tree is truncated, and an alpha in
+	// the discarded tail is allowed (it contributes no noise inside n).
+	cfg := Config{N: 50, Leaves: 16, T: 4}
+	alphas := []int{0, 20, 47, 60} // 60 >= 50: outside the output range
+	delta, w, v := run(t, cfg, alphas)
+	if len(w) != 50 || len(v) != 50 {
+		t.Fatalf("outputs must have length n")
+	}
+	checkMulti(t, delta, w, v, []int{0, 20, 47})
+}
+
+func TestBucketsEntirelyBeyondN(t *testing.T) {
+	// Regression: the 2^20 Table 4 row has t·ℓ ≈ 1.6x n, so whole
+	// buckets fall beyond the output range; Send must not slice past n.
+	cfg := Config{N: 40, Leaves: 16, T: 4} // buckets 3,4 beyond 40
+	alphas, err := cfg.RandomAlphas()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, w, v := run(t, cfg, alphas)
+	var inRange []int
+	for _, a := range alphas {
+		if a < cfg.N {
+			inRange = append(inRange, a)
+		}
+	}
+	checkMulti(t, delta, w, v, inRange)
+}
+
+func TestRandomAlphasInBuckets(t *testing.T) {
+	cfg := Config{N: 100, Leaves: 32, T: 4}
+	for trial := 0; trial < 20; trial++ {
+		alphas, err := cfg.RandomAlphas()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, a := range alphas {
+			if a < i*cfg.Leaves || a >= (i+1)*cfg.Leaves {
+				t.Fatalf("alpha %d outside bucket %d", a, i)
+			}
+			if a >= cfg.N && (i+1)*cfg.Leaves <= cfg.N {
+				t.Fatalf("alpha %d beyond n in a fully-covered bucket", a)
+			}
+		}
+	}
+}
+
+func TestCOTBudget(t *testing.T) {
+	cfg := Config{N: 64, Leaves: 16, T: 4}
+	if got := cfg.COTBudget(); got != 16 {
+		t.Fatalf("COTBudget = %d, want 4*log2(16)=16", got)
+	}
+	p := prg.New(prg.ChaCha8, 4)
+	sp, rp, _ := cot.RandomPools(cfg.COTBudget())
+	h := aesprg.NewHash()
+	a, b := transport.Pipe()
+	go func() { _, _ = Send(a, sp, h, p, cfg) }()
+	if _, err := Receive(b, rp, h, p, cfg, []int{0, 16, 32, 48}); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Used() != cfg.COTBudget() {
+		t.Fatalf("consumed %d, want %d", sp.Used(), cfg.COTBudget())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{N: 0, Leaves: 16, T: 4},
+		{N: 16, Leaves: 1, T: 16},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("config %+v should fail validation", cfg)
+		}
+	}
+	// Partial cover is allowed (Table 4 rows 2^23, 2^24).
+	part := Config{N: 100, Leaves: 16, T: 4}
+	if err := part.Validate(); err != nil {
+		t.Fatalf("partial cover should validate: %v", err)
+	}
+	if part.Covered() != 64 {
+		t.Fatalf("Covered = %d, want 64", part.Covered())
+	}
+	p := prg.New(prg.ChaCha8, 4)
+	sp, rp, _ := cot.RandomPools(64)
+	h := aesprg.NewHash()
+	a, _ := transport.Pipe()
+	cfg := Config{N: 64, Leaves: 16, T: 4}
+	if _, err := Receive(a, rp, h, p, cfg, []int{0, 0, 32, 48}); err == nil {
+		t.Fatal("alpha outside its bucket must be rejected")
+	}
+	if _, err := Receive(a, rp, h, p, cfg, []int{0}); err == nil {
+		t.Fatal("wrong alpha count must be rejected")
+	}
+	if _, err := Send(a, sp, h, p, Config{N: 0, Leaves: 2, T: 1}); err == nil {
+		t.Fatal("bad config must be rejected in Send")
+	}
+}

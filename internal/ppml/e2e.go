@@ -1,0 +1,182 @@
+package ppml
+
+import (
+	"fmt"
+
+	"ironman/internal/ferret"
+	"ironman/internal/prg"
+	"ironman/internal/sim/cpu"
+	"ironman/internal/sim/gpu"
+	"ironman/internal/sim/nmp"
+	"ironman/internal/simnet"
+)
+
+// OTBackend prices the OT-extension preprocessing phase.
+type OTBackend interface {
+	Name() string
+	// Seconds is the latency of generating n COT correlations.
+	Seconds(n int64) float64
+}
+
+// oteParams is the parameter set all backends amortize over; the 2^22
+// row balances per-execution overhead against LPN footprint.
+var oteParams = mustParams("2^22")
+
+func mustParams(name string) ferret.Params {
+	p, err := ferret.ParamsByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// PreprocBytesPerOT is the (sublinear) OTE communication per produced
+// correlation: per execution, t trees exchange log2(ℓ) puncture
+// messages of a few blocks each, amortized over Usable() outputs.
+const PreprocBytesPerOT = 0.25
+
+// CPUBackend is the software baseline. Threads reflects how many cores
+// the framework dedicates to OT extension alongside its other work.
+type CPUBackend struct {
+	Model   cpu.Model
+	Threads int
+}
+
+func (b CPUBackend) Name() string { return fmt.Sprintf("CPU(%d threads)", b.Threads) }
+
+func (b CPUBackend) Seconds(n int64) float64 {
+	execs := (n + int64(oteParams.Usable()) - 1) / int64(oteParams.Usable())
+	if execs < 1 {
+		execs = 1
+	}
+	per := b.Model.OTELatency(oteParams, prg.AES, 2, b.Threads, false).Total()
+	init := b.Model.OTELatency(oteParams, prg.AES, 2, b.Threads, true).Init
+	return init + float64(execs)*per
+}
+
+// GPUBackend prices OT extension on the A6000 model.
+type GPUBackend struct {
+	Host cpu.Model
+	GPU  gpu.Model
+}
+
+func (b GPUBackend) Name() string { return "GPU(A6000)" }
+
+func (b GPUBackend) Seconds(n int64) float64 {
+	full := CPUBackend{Model: b.Host, Threads: b.Host.Cores}
+	return full.Seconds(n) / b.GPU.SpeedupOverCPU
+}
+
+// IronmanBackend prices OT extension on the NMP simulator. Results are
+// memoized per configuration (the trace replay is the expensive part).
+type IronmanBackend struct {
+	Cfg nmp.Config
+
+	perExec float64 // cached seconds per execution
+}
+
+func (b *IronmanBackend) Name() string {
+	return fmt.Sprintf("Ironman(%dranks,%dKB)", b.Cfg.Ranks, b.Cfg.CacheBytes>>10)
+}
+
+func (b *IronmanBackend) Seconds(n int64) float64 {
+	if b.perExec == 0 {
+		res, err := nmp.SimulateOTE(b.Cfg, oteParams, prg.New(prg.ChaCha8, 4),
+			nmp.SortFor(b.Cfg), oteParams.Usable())
+		if err != nil {
+			panic(err)
+		}
+		b.perExec = res.ExecSeconds
+	}
+	execs := (n + int64(oteParams.Usable()) - 1) / int64(oteParams.Usable())
+	if execs < 1 {
+		execs = 1
+	}
+	return float64(execs) * b.perExec
+}
+
+// DefaultCPUBaseline reflects the frameworks' multithreaded OT workers.
+func DefaultCPUBaseline() CPUBackend { return CPUBackend{Model: cpu.Xeon5220R, Threads: 4} }
+
+// DefaultIronman is the 16-rank, 1 MB design point.
+func DefaultIronman() *IronmanBackend {
+	return &IronmanBackend{Cfg: nmp.DefaultConfig(16, 1<<20)}
+}
+
+// Latency is the end-to-end decomposition of one private inference,
+// mirroring the Figure 1(a) categories.
+type Latency struct {
+	Linear     float64 // HE/linear-layer compute
+	OTE        float64 // OT-extension preprocessing compute
+	OnlineComm float64 // all wire time (linear + nonlinear + preproc)
+	Other      float64
+}
+
+// Total sums the components.
+func (l Latency) Total() float64 { return l.Linear + l.OTE + l.OnlineComm + l.Other }
+
+// OTEFraction is the Figure 1(a) headline number.
+func (l Latency) OTEFraction() float64 { return l.OTE / l.Total() }
+
+// EndToEnd composes one inference latency.
+func EndToEnd(f Framework, m Model, net simnet.Network, ot OTBackend) Latency {
+	if !f.Supports(m) {
+		panic(fmt.Sprintf("ppml: %s does not evaluate %s", f.Name, m.Name))
+	}
+	linear := float64(m.MACs) * f.LinearSecPerMAC
+	ots := f.OTCount(m)
+	ote := ot.Seconds(ots)
+	bytes := f.OnlineBytes(m) + f.LinearBytes(m) + int64(float64(ots)*PreprocBytesPerOT)
+	comm := net.Latency(bytes, f.Rounds(m))
+	other := f.OtherFrac * (linear + comm)
+	return Latency{Linear: linear, OTE: ote, OnlineComm: comm, Other: other}
+}
+
+// Speedup compares baseline and accelerated OT backends end to end.
+func Speedup(f Framework, m Model, net simnet.Network, base, accel OTBackend) (baseLat, accelLat Latency, speedup float64) {
+	baseLat = EndToEnd(f, m, net, base)
+	accelLat = EndToEnd(f, m, net, accel)
+	return baseLat, accelLat, baseLat.Total() / accelLat.Total()
+}
+
+// OperatorBench is the Figure 15 microbenchmark: a batch of one
+// nonlinear operator evaluated under a framework.
+func OperatorBench(f Framework, op Op, elems int64, net simnet.Network, ot OTBackend) Latency {
+	c, ok := f.Costs[op]
+	if !ok {
+		panic(fmt.Sprintf("ppml: %s has no %v protocol", f.Name, op))
+	}
+	ots := int64(float64(elems) * c.OTs)
+	ote := ot.Seconds(ots)
+	bytes := int64(float64(elems)*c.OnlineBytes + float64(ots)*PreprocBytesPerOT)
+	comm := net.Latency(bytes, f.RoundsPerLayer)
+	other := f.OtherFrac * comm
+	return Latency{OTE: ote, OnlineComm: comm, Other: other}
+}
+
+// MatMul models the Figure 16 study: communication of an OT-based
+// secure matrix multiplication (PrivQuant-style) of dims
+// (input m, hidden k, output n), with and without the unified
+// sender/receiver architecture. Role switching lets every tile run the
+// OT in its cheaper direction, halving traffic (§5.2); compute costs
+// ~1.5x the unified-case wire time, so halving communication yields
+// the paper's ~1.4x latency gain.
+type MatMul struct {
+	M, K, N int
+}
+
+// CommBytes returns modeled traffic.
+func (mm MatMul) CommBytes(unified bool) int64 {
+	base := int64(mm.M*mm.K+mm.K*mm.N+mm.M*mm.N) * 32
+	if unified {
+		return base
+	}
+	return 2 * base
+}
+
+// Latency returns modeled wall time on the given network.
+func (mm MatMul) Latency(net simnet.Network, unified bool) float64 {
+	comm := net.Latency(mm.CommBytes(unified), 4)
+	compute := 1.5 * net.Latency(mm.CommBytes(true), 0)
+	return comm + compute
+}

@@ -1,0 +1,145 @@
+package ppml
+
+import "fmt"
+
+// OpCost prices one activation element of an op under a framework.
+type OpCost struct {
+	// OTs is the number of COT correlations the preprocessing phase
+	// must generate per element.
+	OTs float64
+	// OnlineBytes is the online (post-preprocessing) traffic per
+	// element.
+	OnlineBytes float64
+}
+
+// Framework is a hybrid HE/MPC private-inference system.
+type Framework struct {
+	Name string
+	// ForTransformers tells which model family the framework targets.
+	ForTransformers bool
+
+	// Costs maps each nonlinear op to its per-element price. The
+	// constants approximate the protocols' published complexities:
+	// CrypTFlow2's DReLU millionaire (λ=128, ℓ=37) consumes on the
+	// order of a hundred COTs and a few hundred online bytes per
+	// element; Cheetah's silent-OT variants roughly halve that; the
+	// SiRNN/Bolt math protocols (GELU/Softmax/LayerNorm via lookup
+	// tables, comparisons and extension/truncation chains) cost a few
+	// hundred COTs per element. They are calibrated jointly with the
+	// CPU model so that OT extension accounts for 51-69% of baseline
+	// end-to-end time (Figure 1(a)).
+	Costs map[Op]OpCost
+
+	// LinearSecPerMAC prices the (GPU-accelerated) HE linear layers.
+	LinearSecPerMAC float64
+	// LinearBytesPerMAC prices linear-layer ciphertext traffic.
+	LinearBytesPerMAC float64
+	// RoundsPerLayer is protocol rounds per nonlinear layer.
+	RoundsPerLayer int
+	// OtherFrac adds framework overhead (share of compute time).
+	OtherFrac float64
+}
+
+// The three end-to-end frameworks of Table 5 plus EzPC-SiRNN used in
+// the Figure 15 operator study.
+var (
+	CrypTFlow2 = Framework{
+		Name: "CrypTFlow2",
+		Costs: map[Op]OpCost{
+			ReLU: {OTs: 190, OnlineBytes: 1400},
+		},
+		LinearSecPerMAC:   4.5e-9,
+		LinearBytesPerMAC: 0.9,
+		RoundsPerLayer:    12,
+		OtherFrac:         0.15,
+	}
+	Cheetah = Framework{
+		Name: "Cheetah",
+		Costs: map[Op]OpCost{
+			ReLU: {OTs: 85, OnlineBytes: 800},
+		},
+		LinearSecPerMAC:   2.5e-9,
+		LinearBytesPerMAC: 0.25,
+		RoundsPerLayer:    7,
+		OtherFrac:         0.15,
+	}
+	Bolt = Framework{
+		Name:            "Bolt",
+		ForTransformers: true,
+		Costs: map[Op]OpCost{
+			GELU:      {OTs: 260, OnlineBytes: 700},
+			Softmax:   {OTs: 340, OnlineBytes: 950},
+			LayerNorm: {OTs: 120, OnlineBytes: 360},
+		},
+		LinearSecPerMAC:   1.6e-9,
+		LinearBytesPerMAC: 0.45,
+		RoundsPerLayer:    40,
+		OtherFrac:         0.12,
+	}
+	SiRNN = Framework{
+		Name:            "EzPC-SiRNN",
+		ForTransformers: true,
+		Costs: map[Op]OpCost{
+			ReLU:      {OTs: 160, OnlineBytes: 520},
+			GELU:      {OTs: 420, OnlineBytes: 1250},
+			Softmax:   {OTs: 520, OnlineBytes: 1500},
+			LayerNorm: {OTs: 230, OnlineBytes: 700},
+		},
+		LinearSecPerMAC:   4.0e-9,
+		LinearBytesPerMAC: 0.8,
+		RoundsPerLayer:    30,
+		OtherFrac:         0.12,
+	}
+)
+
+// Table5Frameworks lists the end-to-end frameworks with their model
+// families as evaluated in Table 5.
+func Table5Frameworks() []struct {
+	FW     Framework
+	Models []Model
+} {
+	return []struct {
+		FW     Framework
+		Models []Model
+	}{
+		{CrypTFlow2, CNNs},
+		{Cheetah, CNNs},
+		{Bolt, Transformers},
+	}
+}
+
+// OTCount returns the COT correlations a model's nonlinear layers need
+// under the framework.
+func (f Framework) OTCount(m Model) int64 {
+	var t float64
+	for op, c := range f.Costs {
+		t += float64(m.Elems[op]) * c.OTs
+	}
+	return int64(t)
+}
+
+// OnlineBytes returns the online traffic of the nonlinear protocol.
+func (f Framework) OnlineBytes(m Model) int64 {
+	var t float64
+	for op, c := range f.Costs {
+		t += float64(m.Elems[op]) * c.OnlineBytes
+	}
+	return int64(t)
+}
+
+// LinearBytes returns linear-layer ciphertext traffic.
+func (f Framework) LinearBytes(m Model) int64 {
+	return int64(float64(m.MACs) * f.LinearBytesPerMAC)
+}
+
+// Rounds returns the protocol round count for one inference.
+func (f Framework) Rounds(m Model) int {
+	return m.NonlinLayers * f.RoundsPerLayer
+}
+
+// Supports reports whether the framework targets the model family.
+func (f Framework) Supports(m Model) bool {
+	return f.ForTransformers == m.Transformer || f.Name == "EzPC-SiRNN"
+}
+
+func (f Framework) String() string { return fmt.Sprintf("Framework(%s)", f.Name) }

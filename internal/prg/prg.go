@@ -1,0 +1,132 @@
+// Package prg defines the pseudo-random-generator design space that
+// Ironman's SPCOT optimization explores (Figure 6 of the paper):
+//
+//	(a) 2-ary tree with AES      — 2 AES ops per expansion (baseline)
+//	(b) 4-ary tree with AES      — 4 AES ops per expansion
+//	(c) 2-ary tree with ChaCha8  — 1 ChaCha op (half the output wasted)
+//	(d) 4-ary tree with ChaCha8  — 1 ChaCha op (full 512-bit output used)
+//
+// A PRG expands one 128-bit parent block into Arity() child blocks, and
+// reports how many primitive operations (AES calls or ChaCha core calls)
+// the expansion costs, so software, the op-count analysis of Fig 7(a)
+// and the hardware pipeline model all agree on one number.
+package prg
+
+import (
+	"fmt"
+
+	"ironman/internal/aesprg"
+	"ironman/internal/block"
+	"ironman/internal/chacha"
+)
+
+// Kind selects the primitive the PRG is built from.
+type Kind int
+
+const (
+	// AES builds the PRG from fixed-key AES-128 (one op per child).
+	AES Kind = iota
+	// ChaCha8 builds the PRG from the 8-round ChaCha core
+	// (one op per up-to-4 children).
+	ChaCha8
+)
+
+func (k Kind) String() string {
+	switch k {
+	case AES:
+		return "AES"
+	case ChaCha8:
+		return "ChaCha8"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// PRG is a length-m-tupling pseudorandom generator.
+type PRG interface {
+	// Arity is the maximum number of children produced per expansion
+	// (the m in m-ary tree expansion).
+	Arity() int
+	// Expand writes the first len(children) children of parent into
+	// children; 1 <= len(children) <= Arity(). Producing fewer children
+	// than Arity yields a prefix of the full expansion, which is what a
+	// mixed-radix GGM level (e.g. a final binary level under a 4-ary
+	// PRG) consumes.
+	Expand(parent block.Block, children []block.Block)
+	// OpsPerExpand is the number of primitive core invocations a full
+	// expansion costs (AES calls or ChaCha core calls).
+	OpsPerExpand() int
+	// OpsFor is the number of primitive core invocations needed to
+	// produce the first n children, 1 <= n <= Arity().
+	OpsFor(n int) int
+	// Name identifies the construction, e.g. "ChaCha8x4".
+	Name() string
+}
+
+// New constructs a PRG of the given kind and arity. AES supports arity
+// 2..4 (one AES call per child). ChaCha8 supports arity 2, 4, 8, 16 and
+// 32: one 512-bit core output holds 4 blocks, so an m-ary expansion
+// costs ceil(m/4) core calls — which is why the reduction rate of m-ary
+// expansion saturates around 4x and the paper picks m=4 (§4.1).
+func New(kind Kind, arity int) PRG {
+	switch kind {
+	case AES:
+		return &aesPRG{d: aesprg.NewDoubler(arity)}
+	case ChaCha8:
+		switch arity {
+		case 2, 4, 8, 16, 32:
+			return &chachaPRG{arity: arity}
+		default:
+			panic("prg: ChaCha8 arity must be one of 2,4,8,16,32")
+		}
+	default:
+		panic("prg: unknown kind")
+	}
+}
+
+type aesPRG struct {
+	d *aesprg.Doubler
+}
+
+func (p *aesPRG) Arity() int        { return p.d.Arity() }
+func (p *aesPRG) OpsPerExpand() int { return p.d.Arity() }
+func (p *aesPRG) OpsFor(n int) int  { return n }
+func (p *aesPRG) Name() string      { return fmt.Sprintf("AESx%d", p.d.Arity()) }
+func (p *aesPRG) Expand(parent block.Block, children []block.Block) {
+	p.d.Expand(parent, children)
+}
+
+// chachaPRG keys the ChaCha8 core with the parent seed repeated into the
+// 256-bit key slot (standard 128-bit-security keying) and takes the
+// first arity*16 bytes of the 512-bit core output as the children.
+type chachaPRG struct {
+	arity int
+}
+
+func (p *chachaPRG) Arity() int        { return p.arity }
+func (p *chachaPRG) OpsPerExpand() int { return (p.arity + 3) / 4 }
+func (p *chachaPRG) OpsFor(n int) int  { return (n + 3) / 4 }
+func (p *chachaPRG) Name() string      { return fmt.Sprintf("ChaCha8x%d", p.arity) }
+
+func (p *chachaPRG) Expand(parent block.Block, children []block.Block) {
+	if len(children) < 1 || len(children) > p.arity {
+		panic("prg: children slice has wrong length")
+	}
+	// Build the 16-word ChaCha state directly: constants, key = seed||seed,
+	// nonce 0, counter = core-call index. One Core call == one hardware
+	// pipeline pass producing 4 children.
+	var in [16]uint32
+	in[0], in[1], in[2], in[3] = 0x61707865, 0x3320646e, 0x79622d32, 0x6b206574
+	lo, hi := parent.Lo, parent.Hi
+	in[4], in[5] = uint32(lo), uint32(lo>>32)
+	in[6], in[7] = uint32(hi), uint32(hi>>32)
+	in[8], in[9], in[10], in[11] = in[4], in[5], in[6], in[7]
+	var out [chacha.BlockSize]byte
+	for call := 0; call < p.OpsFor(len(children)); call++ {
+		in[12] = uint32(call)
+		chacha.Core(&out, &in, chacha.Rounds8)
+		for i := 0; i < 4 && call*4+i < len(children); i++ {
+			children[call*4+i] = block.FromBytes(out[i*16:])
+		}
+	}
+}

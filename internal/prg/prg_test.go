@@ -1,0 +1,166 @@
+package prg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ironman/internal/block"
+)
+
+func allPRGs() []PRG {
+	return []PRG{
+		New(AES, 2), New(AES, 3), New(AES, 4),
+		New(ChaCha8, 2), New(ChaCha8, 4), New(ChaCha8, 8),
+		New(ChaCha8, 16), New(ChaCha8, 32),
+	}
+}
+
+func TestExpandDeterministicAllKinds(t *testing.T) {
+	for _, p := range allPRGs() {
+		a := make([]block.Block, p.Arity())
+		b := make([]block.Block, p.Arity())
+		parent := block.New(0x1234, 0x5678)
+		p.Expand(parent, a)
+		p.Expand(parent, b)
+		if !block.Equal(a, b) {
+			t.Fatalf("%s: not deterministic", p.Name())
+		}
+		seen := make(map[block.Block]bool)
+		for _, c := range a {
+			if seen[c] {
+				t.Fatalf("%s: duplicate children", p.Name())
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestChaChaPrefixConsistency(t *testing.T) {
+	// The first 4 children of a wide ChaCha expansion come from core
+	// call 0, exactly like the 4-ary expansion of the same seed. This is
+	// the hardware property that lets one ChaCha unit serve all arities.
+	parent := block.New(99, 100)
+	c4 := make([]block.Block, 4)
+	New(ChaCha8, 4).Expand(parent, c4)
+	c32 := make([]block.Block, 32)
+	New(ChaCha8, 32).Expand(parent, c32)
+	if !block.Equal(c4, c32[:4]) {
+		t.Fatal("4-ary expansion should be a prefix of the 32-ary expansion")
+	}
+	c2 := make([]block.Block, 2)
+	New(ChaCha8, 2).Expand(parent, c2)
+	if !block.Equal(c2, c32[:2]) {
+		t.Fatal("2-ary expansion should be a prefix of the 32-ary expansion")
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	for _, p := range allPRGs() {
+		p := p
+		f := func(a, b, c, d uint64) bool {
+			p1, p2 := block.New(a, b), block.New(c, d)
+			x := make([]block.Block, p.Arity())
+			y := make([]block.Block, p.Arity())
+			p.Expand(p1, x)
+			p.Expand(p2, y)
+			if p1 == p2 {
+				return block.Equal(x, y)
+			}
+			return x[0] != y[0]
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+func TestOpsPerExpand(t *testing.T) {
+	cases := []struct {
+		kind  Kind
+		arity int
+		want  int
+	}{
+		{AES, 2, 2}, {AES, 4, 4},
+		{ChaCha8, 2, 1}, {ChaCha8, 4, 1},
+		{ChaCha8, 8, 2}, {ChaCha8, 16, 4}, {ChaCha8, 32, 8},
+	}
+	for _, c := range cases {
+		got := New(c.kind, c.arity).OpsPerExpand()
+		if got != c.want {
+			t.Errorf("%v x%d: OpsPerExpand = %d, want %d", c.kind, c.arity, got, c.want)
+		}
+	}
+}
+
+func TestPartialExpandIsPrefix(t *testing.T) {
+	// Producing n < Arity children must yield a prefix of the full
+	// expansion — required by mixed-radix GGM levels.
+	for _, p := range allPRGs() {
+		full := make([]block.Block, p.Arity())
+		parent := block.New(5, 6)
+		p.Expand(parent, full)
+		for n := 1; n < p.Arity(); n++ {
+			part := make([]block.Block, n)
+			p.Expand(parent, part)
+			if !block.Equal(part, full[:n]) {
+				t.Fatalf("%s: partial expand of %d children is not a prefix", p.Name(), n)
+			}
+		}
+	}
+}
+
+func TestOpsFor(t *testing.T) {
+	p4 := New(ChaCha8, 4)
+	if p4.OpsFor(2) != 1 || p4.OpsFor(4) != 1 {
+		t.Fatal("ChaCha8 ops for <=4 children must be 1 core call")
+	}
+	p32 := New(ChaCha8, 32)
+	if p32.OpsFor(5) != 2 || p32.OpsFor(32) != 8 {
+		t.Fatal("ChaCha8x32 OpsFor wrong")
+	}
+	a4 := New(AES, 4)
+	if a4.OpsFor(2) != 2 || a4.OpsFor(4) != 4 {
+		t.Fatal("AES OpsFor must be one call per child")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(ChaCha8, 3) },
+		func() { New(ChaCha8, 64) },
+		func() { New(Kind(99), 2) },
+		func() { New(AES, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if AES.String() != "AES" || ChaCha8.String() != "ChaCha8" {
+		t.Fatal("Kind.String broken")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Fatal("unknown Kind.String broken")
+	}
+}
+
+func BenchmarkExpand(b *testing.B) {
+	for _, p := range []PRG{New(AES, 2), New(AES, 4), New(ChaCha8, 2), New(ChaCha8, 4)} {
+		p := p
+		b.Run(p.Name(), func(b *testing.B) {
+			children := make([]block.Block, p.Arity())
+			parent := block.New(1, 2)
+			b.SetBytes(int64(16 * p.Arity()))
+			for i := 0; i < b.N; i++ {
+				p.Expand(parent, children)
+			}
+		})
+	}
+}

@@ -1,0 +1,39 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+
+	"ironman/internal/ferret"
+	"ironman/internal/sim/cpu"
+)
+
+func TestGPUFasterThanCPU(t *testing.T) {
+	p, _ := ferret.ParamsByName("2^20")
+	cpuLat := cpu.Xeon5220R.TotalOTsLatency(p, 1<<25)
+	gpuLat := A6000.TotalOTsLatency(cpu.Xeon5220R, p, 1<<25)
+	r := cpuLat / gpuLat
+	if math.Abs(r-5.88) > 1e-9 {
+		t.Fatalf("GPU speedup %.2f, want 5.88 (§6.1)", r)
+	}
+}
+
+func TestBreakdownShares(t *testing.T) {
+	spcot, lpn, other := A6000.Breakdown(1.0)
+	if math.Abs(spcot-0.441) > 1e-9 || math.Abs(lpn-0.502) > 1e-9 {
+		t.Fatalf("breakdown %f/%f wrong", spcot, lpn)
+	}
+	if other < 0 || other > 0.1 {
+		t.Fatalf("other share %f implausible", other)
+	}
+	if math.Abs(spcot+lpn+other-1.0) > 1e-9 {
+		t.Fatal("shares must sum to the total")
+	}
+}
+
+func TestPowerGapVsIronman(t *testing.T) {
+	// §6.1 reports an 84.5x power reduction for Ironman (1.43 W).
+	if r := A6000.PowerWatts / 1.43; math.Abs(r-84.5) > 1 {
+		t.Fatalf("power ratio %.1f, want ~84.5", r)
+	}
+}

@@ -1,0 +1,131 @@
+package nmp
+
+import (
+	"testing"
+
+	"ironman/internal/ferret"
+	"ironman/internal/lpn"
+	"ironman/internal/prg"
+)
+
+// Ablation benches for the design choices DESIGN.md calls out. Each
+// reports the modeled LPN or OTE latency as a custom metric so the
+// bench harness records the effect size.
+
+func ablCfg() Config {
+	c := DefaultConfig(16, 256<<10)
+	c.SampleRows = 60000
+	return c
+}
+
+func ablParams() ferret.Params { p, _ := ferret.ParamsByName("2^20"); return p }
+
+// BenchmarkAblationSortingOff: no compile-time sorting at all.
+func BenchmarkAblationSortingOff(b *testing.B) {
+	var sec float64
+	for i := 0; i < b.N; i++ {
+		st, err := SimulateLPN(ablCfg(), ablParams(), lpn.SortOptions{}, ferret.DefaultCodeSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sec = st.Seconds
+	}
+	b.ReportMetric(sec*1e3, "lpn-ms")
+}
+
+// BenchmarkAblationColumnSwapOnly: spatial locality only (Fig 11(b)).
+func BenchmarkAblationColumnSwapOnly(b *testing.B) {
+	var sec float64
+	for i := 0; i < b.N; i++ {
+		st, err := SimulateLPN(ablCfg(), ablParams(), lpn.SortOptions{ColumnSwap: true}, ferret.DefaultCodeSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sec = st.Seconds
+	}
+	b.ReportMetric(sec*1e3, "lpn-ms")
+}
+
+// BenchmarkAblationFullSort: column swap + row look-ahead (Fig 11(c)).
+func BenchmarkAblationFullSort(b *testing.B) {
+	var sec float64
+	cfg := ablCfg()
+	for i := 0; i < b.N; i++ {
+		st, err := SimulateLPN(cfg, ablParams(), SortFor(cfg), ferret.DefaultCodeSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sec = st.Seconds
+	}
+	b.ReportMetric(sec*1e3, "lpn-ms")
+}
+
+// BenchmarkAblationOverlap: SPCOT/LPN decoupling on vs off (§5.1).
+func BenchmarkAblationOverlap(b *testing.B) {
+	for _, overlap := range []bool{false, true} {
+		name := "off"
+		if overlap {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := ablCfg()
+			cfg.Overlap = overlap
+			var sec float64
+			for i := 0; i < b.N; i++ {
+				res, err := SimulateOTE(cfg, ablParams(), prg.New(prg.ChaCha8, 4), SortFor(cfg), ablParams().Usable())
+				if err != nil {
+					b.Fatal(err)
+				}
+				sec = res.ExecSeconds
+			}
+			b.ReportMetric(sec*1e3, "exec-ms")
+		})
+	}
+}
+
+// BenchmarkAblationRowWeight sweeps the LPN row weight d around the
+// baseline 10: heavier codes cost proportionally more bandwidth.
+func BenchmarkAblationRowWeight(b *testing.B) {
+	for _, d := range []int{5, 10, 20} {
+		b.Run(map[int]string{5: "d5", 10: "d10", 20: "d20"}[d], func(b *testing.B) {
+			p := ablParams()
+			p.D = d
+			cfg := ablCfg()
+			var sec float64
+			for i := 0; i < b.N; i++ {
+				st, err := SimulateLPN(cfg, p, SortFor(cfg), ferret.DefaultCodeSeed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sec = st.Seconds
+			}
+			b.ReportMetric(sec*1e3, "lpn-ms")
+		})
+	}
+}
+
+// TestAblationOrdering pins the expected effect directions: each
+// sorting stage helps, and overlap helps.
+func TestAblationOrdering(t *testing.T) {
+	cfg := ablCfg()
+	p := ablParams()
+	none, err := SimulateLPN(cfg, p, lpn.SortOptions{}, ferret.DefaultCodeSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swap, err := SimulateLPN(cfg, p, lpn.SortOptions{ColumnSwap: true}, ferret.DefaultCodeSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := SimulateLPN(cfg, p, SortFor(cfg), ferret.DefaultCodeSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(full.CacheHitRate > swap.CacheHitRate && swap.CacheHitRate > none.CacheHitRate) {
+		t.Fatalf("hit rates should order none < swap < full: %.3f %.3f %.3f",
+			none.CacheHitRate, swap.CacheHitRate, full.CacheHitRate)
+	}
+	if !(full.Seconds < none.Seconds) {
+		t.Fatalf("full sorting should beat no sorting: %.4f vs %.4f", full.Seconds, none.Seconds)
+	}
+}

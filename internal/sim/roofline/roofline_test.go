@@ -1,0 +1,55 @@
+package roofline
+
+import (
+	"testing"
+
+	"ironman/internal/ferret"
+)
+
+// TestFigure1cClassification is the paper's central motivation: SPCOT
+// is compute-bound, LPN is memory-bound, for every parameter set.
+func TestFigure1cClassification(t *testing.T) {
+	m := Xeon5220R
+	for _, params := range ferret.Table4 {
+		sp := SPCOTPoint(m, params)
+		if !sp.ComputeBound {
+			t.Errorf("%s: SPCOT should be compute-bound (intensity %.3f, ridge %.3f)",
+				params.Name, sp.Intensity, m.RidgeIntensity())
+		}
+		lp := LPNPoint(m, params)
+		if lp.ComputeBound {
+			t.Errorf("%s: LPN should be memory-bound (intensity %.4f)", params.Name, lp.Intensity)
+		}
+		if lp.Attainable >= sp.Attainable {
+			t.Errorf("%s: LPN attainable %.2e should sit below SPCOT %.2e",
+				params.Name, lp.Attainable, sp.Attainable)
+		}
+	}
+}
+
+func TestRooflineEnvelope(t *testing.T) {
+	m := Xeon5220R
+	ridge := m.RidgeIntensity()
+	if m.Attainable(ridge/2) >= m.PeakAESPerSec {
+		t.Fatal("below the ridge attainable must be bandwidth-limited")
+	}
+	if m.Attainable(ridge*2) != m.PeakAESPerSec {
+		t.Fatal("above the ridge attainable must be the compute peak")
+	}
+	// Attainable is monotone in intensity.
+	if m.Attainable(0.01) >= m.Attainable(0.1) {
+		t.Fatal("attainable must grow with intensity below the ridge")
+	}
+}
+
+func TestFigure1cPointCount(t *testing.T) {
+	pts := Figure1c(Xeon5220R)
+	if len(pts) != 2*len(ferret.Table4) {
+		t.Fatalf("got %d points, want %d", len(pts), 2*len(ferret.Table4))
+	}
+	for _, p := range pts {
+		if p.Intensity <= 0 || p.Attainable <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package spcot implements the single-point correlated OT sub-protocol
+// Π_SPCOT (§2.3.1 and Figure 3(b) of the paper), generalized to the
+// hardware-aware m-ary GGM expansion of §4.
+//
+// One execution with ℓ leaves gives the sender a random vector w of ℓ
+// blocks and the receiver a secret index α plus a vector v such that
+//
+//	w = v ⊕ u·Δ,   u = one-hot at α,
+//
+// i.e. v[i] = w[i] everywhere except v[α] = w[α] ⊕ Δ.
+//
+// Puncturing consumes exactly log2(ℓ) COT correlations regardless of
+// the tree arity: a binary level costs one chosen OT, an m-ary level
+// costs one (m-1)-out-of-m OT which itself burns log2(m) COTs (§4.2).
+package spcot
+
+import (
+	"crypto/rand"
+	"fmt"
+
+	"ironman/internal/aesprg"
+	"ironman/internal/block"
+	"ironman/internal/cot"
+	"ironman/internal/ggm"
+	"ironman/internal/prg"
+	"ironman/internal/transport"
+)
+
+// COTBudget returns the number of COT correlations one SPCOT execution
+// with the given leaf count consumes (= log2(leaves), independent of m).
+func COTBudget(leaves int) int {
+	budget := 0
+	for v := leaves; v > 1; v >>= 1 {
+		budget++
+	}
+	return budget
+}
+
+// Send runs the sender side of one SPCOT over conn: expand a GGM tree
+// with `leaves` leaves using p, transfer the punctured view, and return
+// the leaf vector w. The sender's Δ is pool.Delta.
+func Send(conn transport.Conn, pool *cot.SenderPool, h *aesprg.Hash, p prg.PRG, leaves int) ([]block.Block, error) {
+	var seedBytes [block.Size]byte
+	if _, err := rand.Read(seedBytes[:]); err != nil {
+		return nil, err
+	}
+	return SendWithSeed(conn, pool, h, p, leaves, block.FromBytes(seedBytes[:]))
+}
+
+// SendWithSeed is Send with a caller-provided tree seed (deterministic
+// variant used by tests and the benchmark harness).
+func SendWithSeed(conn transport.Conn, pool *cot.SenderPool, h *aesprg.Hash, p prg.PRG, leaves int, seed block.Block) ([]block.Block, error) {
+	arities := ggm.LevelArities(leaves, p.Arity())
+	tree := ggm.Expand(p, seed, arities)
+
+	for level := 1; level <= tree.Depth(); level++ {
+		sums := tree.LevelSums(level)
+		if len(sums) == 2 {
+			// Binary level: direct chosen OT of (K0, K1).
+			if err := cot.SendChosen(conn, pool, h, [][2]block.Block{{sums[0], sums[1]}}); err != nil {
+				return nil, fmt.Errorf("spcot level %d: %w", level, err)
+			}
+			continue
+		}
+		// m-ary level: (m-1)-out-of-m OT of the m position sums.
+		if err := cot.SendAllButOne(conn, pool, h, sums); err != nil {
+			return nil, fmt.Errorf("spcot level %d: %w", level, err)
+		}
+	}
+
+	// Node-recovery message (step ④): XOR of all leaves plus Δ.
+	w := tree.Leaves()
+	c := block.XorAll(w).Xor(pool.Delta)
+	if err := transport.SendBlocks(conn, []block.Block{c}); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Receive runs the receiver side with punctured index alpha; it returns
+// v (length leaves) with v[alpha] = w[alpha] ⊕ Δ.
+func Receive(conn transport.Conn, pool *cot.ReceiverPool, h *aesprg.Hash, p prg.PRG, leaves, alpha int) ([]block.Block, error) {
+	if alpha < 0 || alpha >= leaves {
+		return nil, fmt.Errorf("spcot: alpha %d out of range [0,%d)", alpha, leaves)
+	}
+	arities := ggm.LevelArities(leaves, p.Arity())
+	digits := ggm.Digits(alpha, arities)
+
+	sums := make([][]block.Block, len(arities))
+	for i, a := range arities {
+		sums[i] = make([]block.Block, a)
+		if a == 2 {
+			// Binary level: fetch the sum opposite the path digit.
+			got, err := cot.ReceiveChosen(conn, pool, h, []bool{digits[i] == 0})
+			if err != nil {
+				return nil, fmt.Errorf("spcot level %d: %w", i+1, err)
+			}
+			sums[i][1-digits[i]] = got[0]
+			continue
+		}
+		got, err := cot.ReceiveAllButOne(conn, pool, h, a, digits[i])
+		if err != nil {
+			return nil, fmt.Errorf("spcot level %d: %w", i+1, err)
+		}
+		copy(sums[i], got)
+	}
+	rec := ggm.Reconstruct(p, arities, alpha, sums)
+
+	cs, err := transport.RecvBlocks(conn, 1)
+	if err != nil {
+		return nil, err
+	}
+	v := rec.Leaves
+	v[alpha] = cs[0].Xor(rec.XorKnownLeaves())
+	return v, nil
+}

@@ -1,0 +1,259 @@
+// Package transport provides the two-party message channel the OT
+// protocols run over, with byte and round accounting. The accounting
+// feeds the communication columns of Figure 7(b) and the modeled
+// network latencies of Figure 7(c) and Table 5: a protocol's wire time
+// is bytes/bandwidth + flights*RTT.
+//
+// Two implementations are provided: an in-process pipe (used by tests,
+// benchmarks and single-binary examples) and a length-prefixed TCP
+// framing (used by cmd/otgen to run the protocol between real peers).
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"ironman/internal/block"
+)
+
+// Conn is a reliable, ordered, message-oriented duplex channel.
+type Conn interface {
+	// Send transmits one message. The implementation owns the buffer
+	// after Send returns; callers may reuse p.
+	Send(p []byte) error
+	// Recv blocks until the next message arrives.
+	Recv() ([]byte, error)
+	// Stats returns the accumulated traffic counters.
+	Stats() Stats
+	io.Closer
+}
+
+// Stats counts traffic through one endpoint.
+type Stats struct {
+	MsgsSent      int
+	BytesSent     int64
+	MsgsReceived  int
+	BytesReceived int64
+	// Flights is the number of direction changes into sending: the
+	// round count of the protocol as seen from this endpoint. Two
+	// consecutive Sends with no intervening Recv count as one flight.
+	Flights int
+}
+
+// TotalBytes is all traffic through the endpoint in both directions.
+func (s Stats) TotalBytes() int64 { return s.BytesSent + s.BytesReceived }
+
+func (s Stats) String() string {
+	return fmt.Sprintf("sent %d msgs/%d B, recv %d msgs/%d B, %d flights",
+		s.MsgsSent, s.BytesSent, s.MsgsReceived, s.BytesReceived, s.Flights)
+}
+
+// counter implements the shared accounting for all Conn flavours.
+type counter struct {
+	mu      sync.Mutex
+	stats   Stats
+	sending bool
+}
+
+func (c *counter) noteSend(n int) {
+	c.mu.Lock()
+	c.stats.MsgsSent++
+	c.stats.BytesSent += int64(n)
+	if !c.sending {
+		c.sending = true
+		c.stats.Flights++
+	}
+	c.mu.Unlock()
+}
+
+func (c *counter) noteRecv(n int) {
+	c.mu.Lock()
+	c.stats.MsgsReceived++
+	c.stats.BytesReceived += int64(n)
+	c.sending = false
+	c.mu.Unlock()
+}
+
+func (c *counter) snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// pipeConn is one endpoint of an in-process pipe.
+type pipeConn struct {
+	counter
+	out    chan<- []byte
+	in     <-chan []byte
+	closed chan struct{}
+	once   sync.Once
+}
+
+// ErrClosed is returned by operations on a closed pipe.
+var ErrClosed = errors.New("transport: connection closed")
+
+// Pipe returns two connected in-process endpoints. Each direction is
+// buffered; a protocol that sends bounded batches never deadlocks even
+// when both parties run send-then-receive steps.
+func Pipe() (Conn, Conn) {
+	const depth = 1024
+	ab := make(chan []byte, depth)
+	ba := make(chan []byte, depth)
+	a := &pipeConn{out: ab, in: ba, closed: make(chan struct{})}
+	b := &pipeConn{out: ba, in: ab, closed: make(chan struct{})}
+	return a, b
+}
+
+func (p *pipeConn) Send(msg []byte) error {
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	select {
+	case <-p.closed:
+		return ErrClosed
+	case p.out <- cp:
+		p.noteSend(len(msg))
+		return nil
+	}
+}
+
+func (p *pipeConn) Recv() ([]byte, error) {
+	select {
+	case <-p.closed:
+		return nil, ErrClosed
+	case msg := <-p.in:
+		p.noteRecv(len(msg))
+		return msg, nil
+	}
+}
+
+func (p *pipeConn) Stats() Stats { return p.snapshot() }
+
+func (p *pipeConn) Close() error {
+	p.once.Do(func() { close(p.closed) })
+	return nil
+}
+
+// tcpConn frames messages over a net.Conn with a 4-byte length prefix.
+type tcpConn struct {
+	counter
+	nc net.Conn
+	mu sync.Mutex // serializes writers
+}
+
+// MaxMessage bounds a single framed message (64 MiB), protecting the
+// reader from a corrupted length prefix.
+const MaxMessage = 64 << 20
+
+// NewTCP wraps an established network connection.
+func NewTCP(nc net.Conn) Conn { return &tcpConn{nc: nc} }
+
+func (t *tcpConn) Send(msg []byte) error {
+	if len(msg) > MaxMessage {
+		return fmt.Errorf("transport: message of %d bytes exceeds limit", len(msg))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(msg)))
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, err := t.nc.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := t.nc.Write(msg); err != nil {
+		return err
+	}
+	t.noteSend(len(msg))
+	return nil
+}
+
+func (t *tcpConn) Recv() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(t.nc, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxMessage {
+		return nil, fmt.Errorf("transport: incoming message of %d bytes exceeds limit", n)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(t.nc, msg); err != nil {
+		return nil, err
+	}
+	t.noteRecv(len(msg))
+	return msg, nil
+}
+
+func (t *tcpConn) Stats() Stats { return t.snapshot() }
+func (t *tcpConn) Close() error { return t.nc.Close() }
+
+// SendBlocks marshals a block slice as one message.
+func SendBlocks(c Conn, blocks []block.Block) error {
+	return c.Send(block.ToBytes(blocks))
+}
+
+// RecvBlocks receives a message and parses it as exactly n blocks.
+func RecvBlocks(c Conn, n int) ([]block.Block, error) {
+	msg, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if len(msg) != n*block.Size {
+		return nil, fmt.Errorf("transport: expected %d blocks, got %d bytes", n, len(msg))
+	}
+	return block.SliceFromBytes(msg), nil
+}
+
+// SendBits packs a bit slice (8 per byte, little-endian within bytes).
+func SendBits(c Conn, bits []bool) error {
+	buf := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b {
+			buf[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return c.Send(buf)
+}
+
+// RecvBits receives exactly n packed bits.
+func RecvBits(c Conn, n int) ([]bool, error) {
+	msg, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if len(msg) != (n+7)/8 {
+		return nil, fmt.Errorf("transport: expected %d bits, got %d bytes", n, len(msg))
+	}
+	bits := make([]bool, n)
+	for i := range bits {
+		bits[i] = msg[i/8]>>uint(i%8)&1 == 1
+	}
+	return bits, nil
+}
+
+// SendUints marshals a uint32 slice as one message.
+func SendUints(c Conn, v []uint32) error {
+	buf := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(buf[4*i:], x)
+	}
+	return c.Send(buf)
+}
+
+// RecvUints receives exactly n uint32 values.
+func RecvUints(c Conn, n int) ([]uint32, error) {
+	msg, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if len(msg) != 4*n {
+		return nil, fmt.Errorf("transport: expected %d uints, got %d bytes", n, len(msg))
+	}
+	v := make([]uint32, n)
+	for i := range v {
+		v[i] = binary.LittleEndian.Uint32(msg[4*i:])
+	}
+	return v, nil
+}

@@ -1,0 +1,189 @@
+package transport
+
+import (
+	"net"
+	"reflect"
+	"testing"
+
+	"ironman/internal/block"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	want := []byte("hello")
+	if err := a.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPipeSenderMayReuseBuffer(t *testing.T) {
+	a, b := Pipe()
+	buf := []byte{1, 2, 3}
+	if err := a.Send(buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99 // mutate after send
+	got, _ := b.Recv()
+	if got[0] != 1 {
+		t.Fatal("pipe must copy the message on send")
+	}
+}
+
+func TestPipeCloseUnblocks(t *testing.T) {
+	a, b := Pipe()
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		done <- err
+	}()
+	b.Close()
+	if err := <-done; err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if err := a.Send([]byte("x")); err != nil {
+		t.Fatal("peer close should not break the other endpoint's buffer")
+	}
+}
+
+func TestStatsAndFlights(t *testing.T) {
+	a, b := Pipe()
+	_ = a.Send(make([]byte, 10))
+	_ = a.Send(make([]byte, 20)) // same flight
+	_, _ = b.Recv()
+	_, _ = b.Recv()
+	_ = b.Send(make([]byte, 5))
+	_, _ = a.Recv()
+	_ = a.Send(make([]byte, 1)) // new flight after receiving
+
+	sa := a.Stats()
+	if sa.MsgsSent != 3 || sa.BytesSent != 31 {
+		t.Fatalf("sender stats wrong: %+v", sa)
+	}
+	if sa.Flights != 2 {
+		t.Fatalf("sender flights = %d, want 2", sa.Flights)
+	}
+	sb := b.Stats()
+	if sb.BytesReceived != 30 || sb.Flights != 1 {
+		t.Fatalf("receiver stats wrong: %+v", sb)
+	}
+	if sa.TotalBytes() != 31+5 {
+		t.Fatalf("TotalBytes = %d", sa.TotalBytes())
+	}
+	if sa.String() == "" {
+		t.Fatal("Stats.String empty")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan Conn, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			t.Error(err)
+			done <- nil
+			return
+		}
+		done <- NewTCP(nc)
+	}()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewTCP(nc)
+	server := <-done
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	defer client.Close()
+	defer server.Close()
+
+	msgs := [][]byte{[]byte("one"), {}, make([]byte, 100000)}
+	for _, m := range msgs {
+		if err := client.Send(m); err != nil {
+			t.Fatal(err)
+		}
+		got, err := server.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(m) {
+			t.Fatalf("len = %d, want %d", len(got), len(m))
+		}
+	}
+	if err := server.Send([]byte("reply")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := client.Recv(); string(got) != "reply" {
+		t.Fatal("reply mismatch")
+	}
+	if client.Stats().MsgsSent != 3 {
+		t.Fatalf("client stats: %+v", client.Stats())
+	}
+}
+
+func TestBlockHelpers(t *testing.T) {
+	a, b := Pipe()
+	blocks := []block.Block{block.New(1, 2), block.New(3, 4)}
+	if err := SendBlocks(a, blocks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := RecvBlocks(b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !block.Equal(got, blocks) {
+		t.Fatal("blocks mismatch")
+	}
+	_ = SendBlocks(a, blocks)
+	if _, err := RecvBlocks(b, 3); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestBitHelpers(t *testing.T) {
+	a, b := Pipe()
+	bits := []bool{true, false, true, true, false, false, false, true, true}
+	if err := SendBits(a, bits); err != nil {
+		t.Fatal(err)
+	}
+	got, err := RecvBits(b, len(bits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, bits) {
+		t.Fatalf("bits = %v, want %v", got, bits)
+	}
+}
+
+func TestUintHelpers(t *testing.T) {
+	a, b := Pipe()
+	v := []uint32{0, 1, 1 << 31, 42}
+	if err := SendUints(a, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := RecvUints(b, len(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Fatal("uints mismatch")
+	}
+	_ = SendUints(a, v)
+	if _, err := RecvUints(b, 5); err == nil {
+		t.Fatal("expected length error")
+	}
+}

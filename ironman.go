@@ -1,0 +1,256 @@
+// Package ironman is the public API of this repository: a Go
+// implementation of PCG-style correlated-OT extension (Ferret) with the
+// Ironman paper's hardware-aware m-ary GGM optimization, plus the
+// simulation stack that reproduces the paper's evaluation (MICRO'25:
+// "Ironman: Accelerating Oblivious Transfer Extension for
+// Privacy-Preserving AI with Near-Memory Processing").
+//
+// The two-party protocol runs over any transport.Conn; this package
+// re-exports in-process pipes and TCP framing, wraps the Ferret
+// endpoints with buffering so callers can draw any number of
+// correlations, and converts COTs into random and chosen-message OTs
+// through the correlation-robust hash.
+//
+// Security model: semi-honest adversaries, 128-bit computational
+// security. See DESIGN.md for scope notes.
+package ironman
+
+import (
+	"fmt"
+	"net"
+
+	"ironman/internal/aesprg"
+	"ironman/internal/block"
+	"ironman/internal/cot"
+	"ironman/internal/ferret"
+	"ironman/internal/prg"
+	"ironman/internal/transport"
+)
+
+// Block is the 128-bit unit of all OT payloads.
+type Block = block.Block
+
+// Conn is the two-party message channel.
+type Conn = transport.Conn
+
+// Stats re-exports traffic accounting.
+type Stats = transport.Stats
+
+// Pipe returns two connected in-process endpoints.
+func Pipe() (Conn, Conn) { return transport.Pipe() }
+
+// NewTCPConn frames an established network connection.
+func NewTCPConn(nc net.Conn) Conn { return transport.NewTCP(nc) }
+
+// Params is a Table 4 parameter set name: "2^20" .. "2^24".
+type Params = ferret.Params
+
+// ParamSets lists the five Table 4 rows.
+func ParamSets() []Params { return append([]Params(nil), ferret.Table4...) }
+
+// ParamsByName resolves a set by name.
+func ParamsByName(name string) (Params, error) { return ferret.ParamsByName(name) }
+
+// Options tunes a protocol endpoint.
+type Options struct {
+	// FourAryChaCha selects the Ironman tree construction (default);
+	// set to false for the classic binary AES construction.
+	FourAryChaCha bool
+	// Dealer skips the base-OT/IKNP initialization using local
+	// randomness — NOT secure, for tests and benchmarks only, and only
+	// valid with endpoints created through NewDealtPair.
+	dealt bool
+}
+
+func (o Options) ferretOpts() ferret.Options {
+	var fo ferret.Options
+	if !o.FourAryChaCha {
+		fo.PRG = prg.New(prg.AES, 2)
+	}
+	return fo
+}
+
+// DefaultOptions is the Ironman design point.
+func DefaultOptions() Options { return Options{FourAryChaCha: true} }
+
+// Sender produces correlations r0/r1 = r0 ⊕ Δ and converts them to OTs.
+type Sender struct {
+	f    *ferret.Sender
+	h    *aesprg.Hash
+	buf  []Block
+	otct uint64
+}
+
+// Receiver holds choice bits and r_b blocks.
+type Receiver struct {
+	f       *ferret.Receiver
+	h       *aesprg.Hash
+	bufBits []bool
+	bufBlks []Block
+	otct    uint64
+}
+
+// NewSender initializes the sending endpoint (runs base OTs and IKNP
+// over conn; the peer must run NewReceiver concurrently). delta is the
+// global correlation; use RandomDelta for a fresh secret.
+func NewSender(conn Conn, delta Block, params Params, opts Options) (*Sender, error) {
+	f, err := ferret.NewSender(conn, delta, params, opts.ferretOpts())
+	if err != nil {
+		return nil, err
+	}
+	return &Sender{f: f, h: aesprg.NewHash()}, nil
+}
+
+// NewReceiver initializes the receiving endpoint.
+func NewReceiver(conn Conn, params Params, opts Options) (*Receiver, error) {
+	f, err := ferret.NewReceiver(conn, params, opts.ferretOpts())
+	if err != nil {
+		return nil, err
+	}
+	return &Receiver{f: f, h: aesprg.NewHash()}, nil
+}
+
+// NewDealtPair returns an initialized pair whose first correlations
+// come from a local trusted dealer instead of base OTs. Useful for
+// single-process examples and benchmarks of post-init behaviour.
+func NewDealtPair(connS, connR Conn, delta Block, params Params, opts Options) (*Sender, *Receiver, error) {
+	fs, fr, err := ferret.DealPools(connS, connR, delta, params, opts.ferretOpts())
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Sender{f: fs, h: aesprg.NewHash()}, &Receiver{f: fr, h: aesprg.NewHash()}, nil
+}
+
+// RandomDelta samples a fresh global correlation.
+func RandomDelta() (Block, error) {
+	sp, _, err := cot.RandomPools(0)
+	if err != nil {
+		return Block{}, err
+	}
+	return sp.Delta, nil
+}
+
+// Delta returns the sender's global correlation.
+func (s *Sender) Delta() Block { return s.f.Delta }
+
+// COTs returns n correlations' r0 blocks (r1 = r0 ⊕ Δ implied),
+// running protocol iterations with the peer as needed.
+func (s *Sender) COTs(n int) ([]Block, error) {
+	for len(s.buf) < n {
+		z, err := s.f.Extend()
+		if err != nil {
+			return nil, err
+		}
+		s.buf = append(s.buf, z...)
+	}
+	out := s.buf[:n]
+	s.buf = s.buf[n:]
+	return out, nil
+}
+
+// COTs returns n correlations: choice bits and r_b blocks.
+func (r *Receiver) COTs(n int) ([]bool, []Block, error) {
+	for len(r.bufBits) < n {
+		out, err := r.f.Extend()
+		if err != nil {
+			return nil, nil, err
+		}
+		r.bufBits = append(r.bufBits, out.Bits...)
+		r.bufBlks = append(r.bufBlks, out.Blocks...)
+	}
+	bits, blks := r.bufBits[:n], r.bufBlks[:n]
+	r.bufBits, r.bufBlks = r.bufBits[n:], r.bufBlks[n:]
+	return bits, blks, nil
+}
+
+// RandomOTs converts n COTs into random OTs: the sender gets message
+// pairs (H(r0), H(r1)); the matching Receiver.RandomOTs yields
+// (choice, H(r_choice)). Figure 2's online conversion.
+func (s *Sender) RandomOTs(n int) ([][2]Block, error) {
+	r0, err := s.COTs(n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][2]Block, n)
+	for i, r := range r0 {
+		out[i][0] = s.h.Sum(r, s.otct)
+		out[i][1] = s.h.Sum(r.Xor(s.f.Delta), s.otct)
+		s.otct++
+	}
+	return out, nil
+}
+
+// RandomOTs is the receiver half of the conversion.
+func (r *Receiver) RandomOTs(n int) ([]bool, []Block, error) {
+	bits, blks, err := r.COTs(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]Block, n)
+	for i, b := range blks {
+		out[i] = r.h.Sum(b, r.otct)
+		r.otct++
+	}
+	return bits, out, nil
+}
+
+// SendChosen runs chosen-message 1-of-2 OTs for the given pairs,
+// consuming one fresh COT each (peer: ReceiveChosen).
+func (s *Sender) SendChosen(conn Conn, msgs [][2]Block) error {
+	pairs, err := s.RandomOTs(len(msgs))
+	if err != nil {
+		return err
+	}
+	// Beaver derandomization against the random OTs.
+	ds, err := transport.RecvBits(conn, len(msgs))
+	if err != nil {
+		return err
+	}
+	cts := make([]Block, 2*len(msgs))
+	for i := range msgs {
+		p0, p1 := pairs[i][0], pairs[i][1]
+		if ds[i] {
+			p0, p1 = p1, p0
+		}
+		cts[2*i] = msgs[i][0].Xor(p0)
+		cts[2*i+1] = msgs[i][1].Xor(p1)
+	}
+	return transport.SendBlocks(conn, cts)
+}
+
+// ReceiveChosen selects one message per pair.
+func (r *Receiver) ReceiveChosen(conn Conn, choices []bool) ([]Block, error) {
+	bits, keys, err := r.RandomOTs(len(choices))
+	if err != nil {
+		return nil, err
+	}
+	ds := make([]bool, len(choices))
+	for i := range ds {
+		ds[i] = choices[i] != bits[i]
+	}
+	if err := transport.SendBits(conn, ds); err != nil {
+		return nil, err
+	}
+	cts, err := transport.RecvBlocks(conn, 2*len(choices))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Block, len(choices))
+	for i := range out {
+		ct := cts[2*i]
+		if choices[i] {
+			ct = cts[2*i+1]
+		}
+		out[i] = ct.Xor(keys[i])
+	}
+	return out, nil
+}
+
+// VerifyCOTs checks z = y ⊕ x·Δ for a batch (test/diagnostic helper —
+// in a deployment the receiver never sees Δ).
+func VerifyCOTs(delta Block, z []Block, bits []bool, y []Block) error {
+	if len(z) != len(bits) || len(z) != len(y) {
+		return fmt.Errorf("ironman: length mismatch")
+	}
+	return ferret.Check(delta, z, &ferret.ReceiverOutput{Bits: bits, Blocks: y})
+}

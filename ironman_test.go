@@ -1,0 +1,171 @@
+package ironman
+
+import (
+	"testing"
+
+	"ironman/internal/ferret"
+)
+
+func dealtPair(t testing.TB, params Params) (Conn, Conn, Block, *Sender, *Receiver) {
+	t.Helper()
+	a, b := Pipe()
+	delta, err := RandomDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, r, err := NewDealtPair(a, b, delta, params, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b, delta, s, r
+}
+
+func smallParams() Params { return ferret.TestParams(600, 32, 128, 8) }
+
+func TestCOTsAcrossIterations(t *testing.T) {
+	_, _, delta, s, r := dealtPair(t, smallParams())
+	// Draw more than one iteration's Usable() to force buffering.
+	n := smallParams().Usable() + 100
+	type sres struct {
+		z   []Block
+		err error
+	}
+	ch := make(chan sres, 1)
+	go func() {
+		z, err := s.COTs(n)
+		ch <- sres{z, err}
+	}()
+	bits, blocks, err := r.COTs(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := <-ch
+	if sr.err != nil {
+		t.Fatal(sr.err)
+	}
+	if err := VerifyCOTs(delta, sr.z, bits, blocks); err != nil {
+		t.Fatal(err)
+	}
+	if s.Delta() != delta {
+		t.Fatal("Delta accessor wrong")
+	}
+}
+
+func TestRandomOTsConsistent(t *testing.T) {
+	_, _, _, s, r := dealtPair(t, smallParams())
+	const n = 64
+	type sres struct {
+		pairs [][2]Block
+		err   error
+	}
+	ch := make(chan sres, 1)
+	go func() {
+		p, err := s.RandomOTs(n)
+		ch <- sres{p, err}
+	}()
+	bits, keys, err := r.RandomOTs(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := <-ch
+	if sr.err != nil {
+		t.Fatal(sr.err)
+	}
+	for i := 0; i < n; i++ {
+		want := sr.pairs[i][0]
+		if bits[i] {
+			want = sr.pairs[i][1]
+		}
+		if keys[i] != want {
+			t.Fatalf("random OT %d: key mismatch", i)
+		}
+		other := sr.pairs[i][1]
+		if bits[i] {
+			other = sr.pairs[i][0]
+		}
+		if keys[i] == other {
+			t.Fatalf("random OT %d: both keys equal", i)
+		}
+	}
+}
+
+func TestChosenOTEndToEnd(t *testing.T) {
+	connS, connR, _, s, r := dealtPair(t, smallParams())
+	msgs := make([][2]Block, 16)
+	choices := make([]bool, 16)
+	for i := range msgs {
+		msgs[i][0] = Block{Lo: uint64(i), Hi: 0}
+		msgs[i][1] = Block{Lo: uint64(i), Hi: 1}
+		choices[i] = i%3 == 0
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.SendChosen(connS, msgs) }()
+	got, err := r.ReceiveChosen(connR, choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		want := msgs[i][0]
+		if choices[i] {
+			want = msgs[i][1]
+		}
+		if got[i] != want {
+			t.Fatalf("chosen OT %d wrong", i)
+		}
+	}
+}
+
+func TestParamSets(t *testing.T) {
+	sets := ParamSets()
+	if len(sets) != 5 {
+		t.Fatalf("want 5 sets, got %d", len(sets))
+	}
+	if _, err := ParamsByName("2^21"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParamsByName("2^99"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestVerifyCOTsRejects(t *testing.T) {
+	delta := Block{Lo: 1}
+	z := []Block{{Lo: 5}}
+	if err := VerifyCOTs(delta, z, []bool{false}, []Block{{Lo: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyCOTs(delta, z, []bool{false}, []Block{{Lo: 6}}); err == nil {
+		t.Fatal("corruption must fail")
+	}
+	if err := VerifyCOTs(delta, z, []bool{}, nil); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+}
+
+func TestBinaryAESOption(t *testing.T) {
+	a, b := Pipe()
+	delta, _ := RandomDelta()
+	opts := Options{FourAryChaCha: false}
+	s, r, err := NewDealtPair(a, b, delta, smallParams(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan []Block, 1)
+	go func() {
+		z, err := s.COTs(100)
+		if err != nil {
+			t.Error(err)
+		}
+		ch <- z
+	}()
+	bits, blocks, err := r.COTs(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyCOTs(delta, <-ch, bits, blocks); err != nil {
+		t.Fatal(err)
+	}
+}
