@@ -2,87 +2,127 @@
 //
 // Usage:
 //
-//	ironman-bench [-quick] [-exp name]
+//	ironman-bench [-quick] [-exp name] [-json]
 //
 // Experiment names: fig1a fig1b fig1c fig7 fig8 fig12 fig13 fig14
 // fig15 fig16 table2 table4 table5 table6 all (default all).
+//
+// With -json the selected experiments are emitted as one JSON
+// document on stdout — {"meta": {...}, "experiments": {name:
+// {"seconds": wall, "data": rows}}} — so successive runs can be
+// archived (BENCH_*.json) and diffed to track the perf trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"ironman/internal/experiments"
 )
 
+// experiment pairs a machine-readable result with its rendered view.
+type experiment struct {
+	name string
+	run  func(o experiments.Options) (data any, text string)
+}
+
+func both[T any](rows T, render func(T) string) (any, string) {
+	return rows, render(rows)
+}
+
+var all = []experiment{
+	{"table2", func(experiments.Options) (any, string) {
+		return experiments.Table2Data(), experiments.RenderTable2()
+	}},
+	{"table4", func(experiments.Options) (any, string) {
+		return experiments.Table4Data(), experiments.RenderTable4()
+	}},
+	{"table6", func(experiments.Options) (any, string) {
+		return experiments.Table6Data(), experiments.RenderTable6()
+	}},
+	{"fig1a", func(experiments.Options) (any, string) {
+		return both(experiments.Figure1a(), experiments.RenderFig1a)
+	}},
+	{"fig1b", func(experiments.Options) (any, string) {
+		return both(experiments.Figure1b(), experiments.RenderFig1b)
+	}},
+	{"fig1c", func(experiments.Options) (any, string) {
+		return both(experiments.Figure1c(), experiments.RenderFig1c)
+	}},
+	{"fig7", func(o experiments.Options) (any, string) {
+		return both(experiments.Figure7(o), experiments.RenderFig7)
+	}},
+	{"fig8", func(experiments.Options) (any, string) {
+		return both(experiments.Figure8(), experiments.RenderFig8)
+	}},
+	{"fig12", func(o experiments.Options) (any, string) {
+		return both(experiments.Figure12(o), experiments.RenderFig12)
+	}},
+	{"fig13", func(o experiments.Options) (any, string) {
+		a, b := experiments.Figure13a(o), experiments.Figure13b(o)
+		return map[string]any{"a": a, "b": b}, experiments.RenderFig13(a, b)
+	}},
+	{"fig14", func(o experiments.Options) (any, string) {
+		return both(experiments.Figure14(o), experiments.RenderFig14)
+	}},
+	{"fig15", func(o experiments.Options) (any, string) {
+		return both(experiments.Figure15(o), experiments.RenderFig15)
+	}},
+	{"fig16", func(experiments.Options) (any, string) {
+		return both(experiments.Figure16(), experiments.RenderFig16)
+	}},
+	{"table5", func(o experiments.Options) (any, string) {
+		return both(experiments.Table5(o), experiments.RenderTable5)
+	}},
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "reduced sample sizes")
 	exp := flag.String("exp", "all", "experiment to run")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of rendered tables")
 	flag.Parse()
 
 	o := experiments.Options{Quick: *quick}
-	run := func(name string) bool { return *exp == "all" || *exp == name }
+	type result struct {
+		Seconds float64 `json:"seconds"`
+		Data    any     `json:"data"`
+	}
+	results := make(map[string]result)
 	ran := false
-
-	if run("table2") {
-		fmt.Print(experiments.RenderTable2())
+	for _, e := range all {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
 		ran = true
-	}
-	if run("table4") {
-		fmt.Print(experiments.RenderTable4())
-		ran = true
-	}
-	if run("table6") {
-		fmt.Print(experiments.RenderTable6())
-		ran = true
-	}
-	if run("fig1a") {
-		fmt.Print(experiments.RenderFig1a(experiments.Figure1a()))
-		ran = true
-	}
-	if run("fig1b") {
-		fmt.Print(experiments.RenderFig1b(experiments.Figure1b()))
-		ran = true
-	}
-	if run("fig1c") {
-		fmt.Print(experiments.RenderFig1c(experiments.Figure1c()))
-		ran = true
-	}
-	if run("fig7") {
-		fmt.Print(experiments.RenderFig7(experiments.Figure7(o)))
-		ran = true
-	}
-	if run("fig8") {
-		fmt.Print(experiments.RenderFig8(experiments.Figure8()))
-		ran = true
-	}
-	if run("fig12") {
-		fmt.Print(experiments.RenderFig12(experiments.Figure12(o)))
-		ran = true
-	}
-	if run("fig13") {
-		fmt.Print(experiments.RenderFig13(experiments.Figure13a(o), experiments.Figure13b(o)))
-		ran = true
-	}
-	if run("fig14") {
-		fmt.Print(experiments.RenderFig14(experiments.Figure14(o)))
-		ran = true
-	}
-	if run("fig15") {
-		fmt.Print(experiments.RenderFig15(experiments.Figure15(o)))
-		ran = true
-	}
-	if run("fig16") {
-		fmt.Print(experiments.RenderFig16(experiments.Figure16()))
-		ran = true
-	}
-	if run("table5") {
-		fmt.Print(experiments.RenderTable5(experiments.Table5(o)))
-		ran = true
+		start := time.Now()
+		data, text := e.run(o)
+		elapsed := time.Since(start).Seconds()
+		if *jsonOut {
+			results[e.name] = result{Seconds: elapsed, Data: data}
+		} else {
+			fmt.Print(text)
+		}
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	if *jsonOut {
+		doc := map[string]any{
+			"meta": map[string]any{
+				"quick":     *quick,
+				"generated": time.Now().UTC().Format(time.RFC3339),
+			},
+			"experiments": results,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

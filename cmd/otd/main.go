@@ -1,0 +1,84 @@
+// Command otd is the OT dispenser daemon: it serves correlated-OT
+// streams to many concurrent client sessions, generating correlations
+// ahead of demand with per-session prefetching pools.
+//
+//	otd -listen :7117 -params 2^20 -prefetch 2 -max-sessions 64
+//
+// Clients open sessions with internal/otserv.Client. Query a running
+// daemon's counters with:
+//
+//	otd -stats -connect host:7117
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ironman/internal/otserv"
+)
+
+func main() {
+	listen := flag.String("listen", ":7117", "address to serve on")
+	params := flag.String("params", "2^20", "default Table 4 parameter set for sessions")
+	prefetch := flag.Int("prefetch", 2, "default per-session prefetch depth (Extend batches)")
+	maxDepth := flag.Int("max-depth", 8, "cap on client-requested prefetch depth")
+	maxSessions := flag.Int("max-sessions", 64, "concurrent session limit")
+	stats := flag.Bool("stats", false, "dump a running daemon's stats and exit")
+	connect := flag.String("connect", "", "daemon address for -stats")
+	flag.Parse()
+
+	if *stats {
+		if *connect == "" {
+			log.Fatal("-stats needs -connect host:port")
+		}
+		dumpStats(*connect)
+		return
+	}
+
+	srv := otserv.NewServer(otserv.Config{
+		DefaultParams: *params,
+		Depth:         *prefetch,
+		MaxDepth:      *maxDepth,
+		MaxSessions:   *maxSessions,
+	})
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("otd: dispensing on %s (params %s, prefetch %d, max %d sessions)",
+		ln.Addr(), *params, *prefetch, *maxSessions)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Print("otd: shutting down")
+		srv.Close()
+	}()
+	if err := srv.Serve(ln); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func dumpStats(addr string) {
+	c, err := otserv.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	dump, err := c.ServerStats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(out))
+}

@@ -1,0 +1,3 @@
+module ironman
+
+go 1.24

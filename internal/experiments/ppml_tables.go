@@ -197,11 +197,21 @@ func RenderTable5(rows []Table5Row) string {
 // Tables 2, 4, 6.
 // ---------------------------------------------------------------------
 
+// Table2Data returns the PRG cores Table 2 compares (for the JSON
+// emitter; RenderTable2 is the human view).
+func Table2Data() []area.PRGCore { return []area.PRGCore{area.AES128, area.ChaCha8} }
+
+// Table4Data returns the Table 4 parameter sets.
+func Table4Data() []ferret.Params { return ferret.Table4 }
+
+// Table6Data returns the two Table 6 design points.
+func Table6Data() []area.Ironman { return []area.Ironman{area.Default256K, area.Default1M} }
+
 // RenderTable2 prints the PRG comparison.
 func RenderTable2() string {
 	var b strings.Builder
 	b.WriteString("Table 2: PRG comparison (45nm)\n")
-	for _, c := range []area.PRGCore{area.AES128, area.ChaCha8} {
+	for _, c := range Table2Data() {
 		fmt.Fprintf(&b, "  %-8s out=%3db area=%.3fmm2 perf/area=%.3fx power=%.2fmW power/block=%.3fx\n",
 			c.Name, c.OutputBits, c.AreaMM2, area.PerfPerAreaRatio(c), c.PowerMW, area.PowerPerBlockRatio(c))
 	}
@@ -213,7 +223,7 @@ func RenderTable4() string {
 	var b strings.Builder
 	b.WriteString("Table 4: PCG-style OT-extension parameter sets\n")
 	fmt.Fprintf(&b, "%-6s %10s %6s %8s %6s %8s %10s %8s\n", "set", "n", "l", "k", "t", "bitsec", "usable", "reserve")
-	for _, p := range ferret.Table4 {
+	for _, p := range Table4Data() {
 		fmt.Fprintf(&b, "%-6s %10d %6d %8d %6d %8.1f %10d %8d\n",
 			p.Name, p.N, p.L, p.K, p.T, p.BitSec, p.Usable(), p.Reserve())
 	}
@@ -225,7 +235,7 @@ func RenderTable4() string {
 func RenderTable6() string {
 	var b strings.Builder
 	b.WriteString("Table 6: Ironman-NMP design overhead\n")
-	for _, ir := range []area.Ironman{area.Default256K, area.Default1M} {
+	for _, ir := range Table6Data() {
 		fmt.Fprintf(&b, "  %s\n", ir.Report())
 	}
 	fmt.Fprintf(&b, "  ChaCha8 core: %.3f mm2, %.2f mW\n", area.ChaCha8.AreaMM2, area.ChaCha8.PowerMW)

@@ -228,6 +228,29 @@ func DealPools(connS, connR transport.Conn, delta block.Block, params Params, op
 	return s, r, nil
 }
 
+// ExtendLockstep runs one iteration of both endpoints of an
+// in-process pair concurrently and joins the results. Serving layers
+// (pool.Dealt sources) use it to keep a dealt pair's iteration counts
+// aligned under a single driver.
+func ExtendLockstep(s *Sender, r *Receiver) ([]block.Block, *ReceiverOutput, error) {
+	var z []block.Block
+	var serr error
+	done := make(chan struct{})
+	go func() {
+		z, serr = s.Extend()
+		close(done)
+	}()
+	out, rerr := r.Extend()
+	<-done
+	if serr != nil {
+		return nil, nil, serr
+	}
+	if rerr != nil {
+		return nil, nil, rerr
+	}
+	return z, out, nil
+}
+
 // Params returns the active parameter set.
 func (s *Sender) Params() Params   { return s.params }
 func (r *Receiver) Params() Params { return r.params }

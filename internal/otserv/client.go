@@ -1,0 +1,273 @@
+package otserv
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"ironman/internal/block"
+	"ironman/internal/transport"
+)
+
+// Client is one connection to a dispenser. It is safe for concurrent
+// use; requests on one connection serialize (open one client per
+// high-throughput consumer if that matters).
+type Client struct {
+	mu   sync.Mutex
+	conn transport.Conn
+}
+
+// Dial connects to a dispenser daemon.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(transport.NewTCP(nc)), nil
+}
+
+// NewClient wraps an established conn (any transport.Conn, so tests
+// can run a dispenser over an in-process pipe).
+func NewClient(conn transport.Conn) *Client {
+	return &Client{conn: conn}
+}
+
+// Close disconnects. The server drops this connection's references to
+// its sessions; sessions no other client holds are torn down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// roundTrip sends one request and decodes the status byte.
+func (c *Client) roundTrip(req []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.conn.Send(req); err != nil {
+		return nil, err
+	}
+	resp, err := c.conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) < 1 {
+		return nil, errors.New("otserv: empty response")
+	}
+	if resp[0] != statusOK {
+		return nil, fmt.Errorf("otserv: server: %s", resp[1:])
+	}
+	return resp[1:], nil
+}
+
+func (c *Client) roundTripJSON(op byte, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	out, err := c.roundTrip(append([]byte{op}, body...))
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(out, resp)
+}
+
+// SessionConfig shapes a NewSession handshake.
+type SessionConfig struct {
+	// Params names a parameter set known to the server ("" = server
+	// default).
+	Params string
+	// BinaryAES selects the classic 2-ary AES GGM construction for
+	// this session instead of the Ironman 4-ary ChaCha8 one.
+	BinaryAES bool
+	// Depth requests a prefetch depth in batches (0 = server default;
+	// the server caps it).
+	Depth int
+	// LowWater overrides the session pool's refill trigger.
+	LowWater int
+}
+
+// Session is a handle on one dispenser session.
+type Session struct {
+	c        *Client
+	id       uint64
+	params   string
+	batch    int
+	role     Role
+	tokenS   string
+	tokenR   string
+	delta    block.Block
+	hasDelta bool
+}
+
+// NewSession opens a fresh session (fresh Δ, dedicated pool) on the
+// dispenser. The creator learns Δ, holds both draw roles, and
+// receives the two attach tokens; hand one token to the consumer of
+// each half (a party holding both tokens can reconstruct Δ).
+func (c *Client) NewSession(cfg SessionConfig) (*Session, error) {
+	var resp helloResp
+	req := helloReq{
+		V:         ProtoVersion,
+		Params:    cfg.Params,
+		BinaryAES: cfg.BinaryAES,
+		Depth:     cfg.Depth,
+		LowWater:  cfg.LowWater,
+	}
+	if err := c.roundTripJSON(opHello, req, &resp); err != nil {
+		return nil, err
+	}
+	return &Session{
+		c:        c,
+		id:       resp.Session,
+		params:   resp.Params,
+		batch:    resp.Batch,
+		role:     RoleBoth,
+		tokenS:   resp.SenderToken,
+		tokenR:   resp.ReceiverToken,
+		delta:    block.Block{Lo: resp.DeltaLo, Hi: resp.DeltaHi},
+		hasDelta: true,
+	}, nil
+}
+
+// Attach joins an existing session with one of its tokens, to consume
+// the half the token authorizes. Attached handles do not learn Δ.
+func (c *Client) Attach(id uint64, token string) (*Session, error) {
+	var resp attachResp
+	if err := c.roundTripJSON(opAttach, attachReq{Session: id, Token: token}, &resp); err != nil {
+		return nil, err
+	}
+	return &Session{c: c, id: id, params: resp.Params, batch: resp.Batch, role: resp.Role}, nil
+}
+
+// ServerStats fetches the server-wide counters.
+func (c *Client) ServerStats() (*StatsDump, error) {
+	out, err := c.roundTrip(sessionReq(opStats, 0))
+	if err != nil {
+		return nil, err
+	}
+	var dump StatsDump
+	if err := json.Unmarshal(out, &dump); err != nil {
+		return nil, err
+	}
+	return &dump, nil
+}
+
+// ID is the server-assigned session id (share it for Attach).
+func (s *Session) ID() uint64 { return s.id }
+
+// Params names the session's parameter set.
+func (s *Session) Params() string { return s.params }
+
+// Batch is the session's per-Extend correlation yield.
+func (s *Session) Batch() int { return s.batch }
+
+// Delta returns the session's global correlation. ok is false on
+// attached handles, which are not told Δ.
+func (s *Session) Delta() (delta block.Block, ok bool) { return s.delta, s.hasDelta }
+
+// Role reports which halves this handle may draw.
+func (s *Session) Role() Role { return s.role }
+
+// SenderToken is the attach capability for the sender half (empty on
+// attached handles).
+func (s *Session) SenderToken() string { return s.tokenS }
+
+// ReceiverToken is the attach capability for the receiver half (empty
+// on attached handles).
+func (s *Session) ReceiverToken() string { return s.tokenR }
+
+// Stats fetches the session's pool counters.
+func (s *Session) Stats() (*SessionStats, error) {
+	out, err := s.c.roundTrip(sessionReq(opStats, s.id))
+	if err != nil {
+		return nil, err
+	}
+	var st SessionStats
+	if err := json.Unmarshal(out, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Close drops this handle's reference; the server tears the session
+// down once no client holds it.
+func (s *Session) Close() error {
+	_, err := s.c.roundTrip(sessionReq(opClose, s.id))
+	return err
+}
+
+// SenderCOTs draws n sender-half correlations (r0 blocks; r1 = r0 ⊕ Δ
+// implied). Draws larger than the protocol's single-response cap are
+// chunked transparently.
+func (s *Session) SenderCOTs(n int) ([]block.Block, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("otserv: negative draw %d", n)
+	}
+	out := make([]block.Block, 0, n)
+	for n > 0 {
+		chunk := n
+		if chunk > MaxDraw {
+			chunk = MaxDraw
+		}
+		body, err := s.c.roundTrip(drawReq(opDrawS, s.id, chunk))
+		if err != nil {
+			return nil, err
+		}
+		if len(body) != chunk*block.Size {
+			return nil, fmt.Errorf("otserv: DRAW_S response is %d bytes, want %d", len(body), chunk*block.Size)
+		}
+		out = append(out, block.SliceFromBytes(body)...)
+		n -= chunk
+	}
+	return out, nil
+}
+
+// ReceiverCOTs draws n receiver-half correlations: choice bits and the
+// matching r_b blocks.
+func (s *Session) ReceiverCOTs(n int) ([]bool, []block.Block, error) {
+	if n < 0 {
+		return nil, nil, fmt.Errorf("otserv: negative draw %d", n)
+	}
+	bits := make([]bool, 0, n)
+	blocks := make([]block.Block, 0, n)
+	for n > 0 {
+		chunk := n
+		if chunk > MaxDraw {
+			chunk = MaxDraw
+		}
+		body, err := s.c.roundTrip(drawReq(opDrawR, s.id, chunk))
+		if err != nil {
+			return nil, nil, err
+		}
+		bs, blks, err := parseDrawRResp(body, chunk)
+		if err != nil {
+			return nil, nil, err
+		}
+		bits = append(bits, bs...)
+		blocks = append(blocks, blks...)
+		n -= chunk
+	}
+	return bits, blocks, nil
+}
+
+// RemoteSender adapts a session to the draw API of ironman.Sender, so
+// code written against `COTs(n) ([]Block, error)` can consume from a
+// dispenser unchanged.
+type RemoteSender struct{ s *Session }
+
+// Sender returns the sender-half draw adapter.
+func (s *Session) Sender() *RemoteSender { return &RemoteSender{s} }
+
+// COTs draws n sender-half correlations.
+func (r *RemoteSender) COTs(n int) ([]block.Block, error) { return r.s.SenderCOTs(n) }
+
+// RemoteReceiver adapts a session to the draw API of ironman.Receiver.
+type RemoteReceiver struct{ s *Session }
+
+// Receiver returns the receiver-half draw adapter.
+func (s *Session) Receiver() *RemoteReceiver { return &RemoteReceiver{s} }
+
+// COTs draws n receiver-half correlations.
+func (r *RemoteReceiver) COTs(n int) ([]bool, []block.Block, error) { return r.s.ReceiverCOTs(n) }

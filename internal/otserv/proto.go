@@ -1,0 +1,186 @@
+// Package otserv is a multi-session OT-dispenser service: a daemon
+// that generates correlated OTs ahead of demand (internal/pool) and
+// dispenses them to many concurrent client sessions over the
+// length-prefixed TCP framing of internal/transport.
+//
+// Each session is an independent dealt Ferret pair under a fresh
+// per-session Δ, run in-process on the server; clients draw the
+// sender half (r0 blocks) and/or the receiver half (choice bits, r_b
+// blocks) of the same correlation stream. The creating client learns
+// Δ plus two attach tokens in the handshake and holds both roles.
+// Other clients join with ATTACH, presenting one of the tokens; the
+// token determines which half the connection may draw and Δ is not
+// disclosed, so a deployment can hand the two halves to two
+// different consumers by distributing one token to each (whoever
+// holds both tokens of a session can reconstruct Δ from the two
+// halves). The dealer itself still knows every secret it dealt — see
+// DESIGN.md for why this is a trusted-dealer architecture, not a
+// drop-in replacement for running the two-party protocol end to end.
+//
+// Wire protocol (one framed transport message per request/response):
+//
+//	request  = op:1 body
+//	response = status:1 body        status 0 = ok, 1 = error string
+//
+//	HELLO  op=1 body=JSON helloReq   -> JSON helloResp (Δ + tokens)
+//	ATTACH op=2 body=JSON attachReq  -> JSON attachResp (role, no Δ)
+//	DRAW_S op=3 session:8 n:4        -> n*16 bytes of r0 blocks
+//	DRAW_R op=4 session:8 n:4        -> ceil(n/8) choice-bit bytes
+//	                                    followed by n*16 r_b blocks
+//	STATS  op=5 session:8 (0=server) -> JSON StatsDump / SessionStats
+//	CLOSE  op=6 session:8            -> empty (drops one attachment)
+//
+// All integers are little-endian.
+package otserv
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ironman/internal/block"
+	"ironman/internal/transport"
+)
+
+// ProtoVersion is bumped on incompatible wire changes.
+const ProtoVersion = 1
+
+const (
+	opHello  byte = 0x01
+	opAttach byte = 0x02
+	opDrawS  byte = 0x03
+	opDrawR  byte = 0x04
+	opStats  byte = 0x05
+	opClose  byte = 0x06
+)
+
+const (
+	statusOK  byte = 0
+	statusErr byte = 1
+)
+
+// MaxDraw caps a single DRAW request so the response stays well under
+// transport.MaxMessage (2^21 blocks = 32 MiB + choice bits).
+const MaxDraw = 1 << 21
+
+type helloReq struct {
+	V         int    `json:"v"`
+	Params    string `json:"params,omitempty"` // "" selects the server default
+	BinaryAES bool   `json:"binary_aes,omitempty"`
+	Depth     int    `json:"depth,omitempty"` // prefetch batches; 0 = server default
+	LowWater  int    `json:"low_water,omitempty"`
+}
+
+type helloResp struct {
+	Session uint64 `json:"session"`
+	Params  string `json:"params"`
+	Batch   int    `json:"batch"` // correlations per Extend batch
+	DeltaLo uint64 `json:"delta_lo"`
+	DeltaHi uint64 `json:"delta_hi"`
+	// Attach tokens: capability secrets the creator hands to the
+	// consumer of each half.
+	SenderToken   string `json:"sender_token"`
+	ReceiverToken string `json:"receiver_token"`
+}
+
+type attachReq struct {
+	Session uint64 `json:"session"`
+	Token   string `json:"token"`
+}
+
+// Role names which half a connection's attachment may draw.
+type Role string
+
+const (
+	// RoleSender may draw r0 blocks (DRAW_S).
+	RoleSender Role = "sender"
+	// RoleReceiver may draw choice bits and r_b blocks (DRAW_R).
+	RoleReceiver Role = "receiver"
+	// RoleBoth is the session creator's view (it knows Δ anyway).
+	RoleBoth Role = "both"
+)
+
+type attachResp struct {
+	Params string `json:"params"`
+	Batch  int    `json:"batch"`
+	Role   Role   `json:"role"`
+}
+
+// HalfStats is one pool half's counters as served by STATS.
+type HalfStats struct {
+	Generated    uint64 `json:"generated"`
+	Dispensed    uint64 `json:"dispensed"`
+	Refills      uint64 `json:"refills"`
+	Draws        uint64 `json:"draws"`
+	BlockedDraws uint64 `json:"blocked_draws"`
+	BlockedNS    int64  `json:"blocked_ns"`
+	Buffered     int    `json:"buffered"`
+}
+
+// SessionStats is one session's STATS view.
+type SessionStats struct {
+	ID       uint64    `json:"id"`
+	Params   string    `json:"params"`
+	Refs     int       `json:"refs"`
+	Sender   HalfStats `json:"sender"`
+	Receiver HalfStats `json:"receiver"`
+}
+
+// StatsDump is the server-wide STATS view.
+type StatsDump struct {
+	Sessions       int            `json:"sessions"`
+	SessionsOpened uint64         `json:"sessions_opened"`
+	SessionsClosed uint64         `json:"sessions_closed"`
+	MaxSessions    int            `json:"max_sessions"`
+	PerSession     []SessionStats `json:"per_session,omitempty"`
+}
+
+// drawReq encodes a DRAW_S/DRAW_R request.
+func drawReq(op byte, session uint64, n int) []byte {
+	req := make([]byte, 13)
+	req[0] = op
+	binary.LittleEndian.PutUint64(req[1:], session)
+	binary.LittleEndian.PutUint32(req[9:], uint32(n))
+	return req
+}
+
+// parseSessionN decodes the fixed body of a DRAW request.
+func parseSessionN(body []byte) (uint64, int, error) {
+	if len(body) != 12 {
+		return 0, 0, fmt.Errorf("otserv: draw request body is %d bytes, want 12", len(body))
+	}
+	session := binary.LittleEndian.Uint64(body)
+	n := int(binary.LittleEndian.Uint32(body[8:]))
+	return session, n, nil
+}
+
+// sessionReq encodes a STATS/CLOSE request.
+func sessionReq(op byte, session uint64) []byte {
+	req := make([]byte, 9)
+	req[0] = op
+	binary.LittleEndian.PutUint64(req[1:], session)
+	return req
+}
+
+func parseSession(body []byte) (uint64, error) {
+	if len(body) != 8 {
+		return 0, fmt.Errorf("otserv: request body is %d bytes, want 8", len(body))
+	}
+	return binary.LittleEndian.Uint64(body), nil
+}
+
+// drawRResp lays out a DRAW_R payload: packed choice bits (the
+// transport.PackBits layout) then blocks.
+func drawRResp(bits []bool, blocks []block.Block) []byte {
+	bb := transport.PackBits(bits)
+	out := make([]byte, 0, len(bb)+len(blocks)*block.Size)
+	out = append(out, bb...)
+	return append(out, block.ToBytes(blocks)...)
+}
+
+func parseDrawRResp(body []byte, n int) ([]bool, []block.Block, error) {
+	bitBytes := (n + 7) / 8
+	if len(body) != bitBytes+n*block.Size {
+		return nil, nil, fmt.Errorf("otserv: DRAW_R response is %d bytes, want %d", len(body), bitBytes+n*block.Size)
+	}
+	return transport.UnpackBits(body[:bitBytes], n), block.SliceFromBytes(body[bitBytes:]), nil
+}

@@ -1,0 +1,528 @@
+package otserv
+
+import (
+	"crypto/rand"
+	"crypto/subtle"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"ironman/internal/block"
+	"ironman/internal/ferret"
+	"ironman/internal/pool"
+	"ironman/internal/prg"
+	"ironman/internal/transport"
+)
+
+// Config tunes the dispenser server. The zero value is usable: Table 4
+// parameter lookup, "2^20" default set, depth-2 prefetch, 64 sessions.
+type Config struct {
+	// Resolve maps a handshake params name to a parameter set; nil
+	// selects ferret.ParamsByName (Table 4).
+	Resolve func(name string) (ferret.Params, error)
+	// DefaultParams is used when a HELLO names no set. Default "2^20".
+	DefaultParams string
+	// Depth is the per-session prefetch depth (batches) when a HELLO
+	// requests none. Default 2.
+	Depth int
+	// MaxDepth caps client-requested prefetch depths. Default 8.
+	MaxDepth int
+	// MaxSessions bounds concurrently open sessions. Default 64.
+	MaxSessions int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Resolve == nil {
+		c.Resolve = ferret.ParamsByName
+	}
+	if c.DefaultParams == "" {
+		c.DefaultParams = "2^20"
+	}
+	if c.Depth <= 0 {
+		c.Depth = 2
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 8
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	return c
+}
+
+// session is one dealt correlation stream and its prefetching pool.
+type session struct {
+	id         uint64
+	paramsName string
+	batch      int
+	delta      block.Block
+	tokenS     string // attach capability for the sender half
+	tokenR     string // attach capability for the receiver half
+	pool       *pool.Dealt
+	connA      transport.Conn // in-process pipe endpoints backing the
+	connB      transport.Conn // session's ferret pair
+	refs       int            // attachments across all client conns
+}
+
+// attachment is one conn's view of a session: which halves it may
+// draw and how many references (HELLO/ATTACH minus CLOSE) it holds.
+type attachment struct {
+	sess     *session
+	sender   bool
+	receiver bool
+	count    int
+}
+
+// Server is the multi-session OT dispenser.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[transport.Conn]struct{}
+	sessions map[uint64]*session
+	nextID   uint64
+	opened   uint64
+	torn     uint64
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer builds a dispenser with the given config.
+func NewServer(cfg Config) *Server {
+	return &Server{
+		cfg:      cfg.withDefaults(),
+		conns:    make(map[transport.Conn]struct{}),
+		sessions: make(map[uint64]*session),
+	}
+}
+
+// Serve accepts dispenser clients on ln until the listener fails or
+// the server is closed. It blocks; run it on its own goroutine when
+// the caller needs to keep working.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("otserv: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		conn := transport.NewTCP(nc)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+// Close shuts the server down: stops accepting, disconnects clients,
+// and tears down every session.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	// Conn teardown derefs the sessions each conn held; any session
+	// that somehow kept references (there are none after wg.Wait, but
+	// be defensive) is torn down here.
+	s.mu.Lock()
+	rest := make([]*session, 0, len(s.sessions))
+	for id, sess := range s.sessions {
+		delete(s.sessions, id)
+		rest = append(rest, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range rest {
+		teardown(sess)
+	}
+	return nil
+}
+
+// handleConn serves one client connection: a sequential request loop.
+// Draws run outside the server lock, so a slow draw on one conn never
+// stalls other clients.
+func (s *Server) handleConn(conn transport.Conn) {
+	defer s.wg.Done()
+	owned := make(map[uint64]*attachment)
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		for id, at := range owned {
+			for i := 0; i < at.count; i++ {
+				s.deref(id)
+			}
+		}
+	}()
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if err := conn.Send(s.dispatch(msg, owned)); err != nil {
+			return
+		}
+	}
+}
+
+func respOK(body []byte) []byte { return append([]byte{statusOK}, body...) }
+func respErr(err error) []byte  { return append([]byte{statusErr}, err.Error()...) }
+func respJSON(v any) []byte {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return respErr(err)
+	}
+	return respOK(body)
+}
+
+func (s *Server) dispatch(msg []byte, owned map[uint64]*attachment) []byte {
+	if len(msg) < 1 {
+		return respErr(errors.New("otserv: empty request"))
+	}
+	op, body := msg[0], msg[1:]
+	switch op {
+	case opHello:
+		return s.handleHello(body, owned)
+	case opAttach:
+		return s.handleAttach(body, owned)
+	case opDrawS, opDrawR:
+		return s.handleDraw(op, body, owned)
+	case opStats:
+		return s.handleStats(body, owned)
+	case opClose:
+		id, err := parseSession(body)
+		if err != nil {
+			return respErr(err)
+		}
+		at, ok := owned[id]
+		if !ok {
+			return respErr(fmt.Errorf("otserv: session %d not attached on this conn", id))
+		}
+		at.count--
+		if at.count <= 0 {
+			delete(owned, id)
+		}
+		s.deref(id)
+		return respOK(nil)
+	default:
+		return respErr(fmt.Errorf("otserv: unknown op 0x%02x", op))
+	}
+}
+
+// newToken samples an attach capability (128-bit, hex).
+func newToken() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+func (s *Server) handleHello(body []byte, owned map[uint64]*attachment) []byte {
+	var req helloReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return respErr(fmt.Errorf("otserv: bad HELLO: %w", err))
+	}
+	if req.V != ProtoVersion {
+		return respErr(fmt.Errorf("otserv: protocol version %d, server speaks %d", req.V, ProtoVersion))
+	}
+	name := req.Params
+	if name == "" {
+		name = s.cfg.DefaultParams
+	}
+	params, err := s.cfg.Resolve(name)
+	if err != nil {
+		return respErr(err)
+	}
+	depth := req.Depth
+	if depth <= 0 {
+		depth = s.cfg.Depth
+	}
+	if depth > s.cfg.MaxDepth {
+		depth = s.cfg.MaxDepth
+	}
+	sess, err := s.openSession(name, params, req, depth)
+	if err != nil {
+		return respErr(err)
+	}
+	owned[sess.id] = &attachment{sess: sess, sender: true, receiver: true, count: 1}
+	return respJSON(helloResp{
+		Session:       sess.id,
+		Params:        name,
+		Batch:         sess.batch,
+		DeltaLo:       sess.delta.Lo,
+		DeltaHi:       sess.delta.Hi,
+		SenderToken:   sess.tokenS,
+		ReceiverToken: sess.tokenR,
+	})
+}
+
+// openSession builds the in-process dealt ferret pair and its pool.
+func (s *Server) openSession(name string, params ferret.Params, req helloReq, depth int) (*session, error) {
+	var deltaBytes [block.Size]byte
+	if _, err := rand.Read(deltaBytes[:]); err != nil {
+		return nil, err
+	}
+	delta := block.FromBytes(deltaBytes[:])
+	tokenS, err := newToken()
+	if err != nil {
+		return nil, err
+	}
+	tokenR, err := newToken()
+	if err != nil {
+		return nil, err
+	}
+
+	var fo ferret.Options
+	if req.BinaryAES {
+		fo.PRG = prg.New(prg.AES, 2)
+	}
+	connA, connB := transport.Pipe()
+	fs, fr, err := ferret.DealPools(connA, connB, delta, params, fo)
+	if err != nil {
+		connA.Close()
+		connB.Close()
+		return nil, err
+	}
+	src := func() ([]block.Block, []bool, []block.Block, error) {
+		z, out, err := ferret.ExtendLockstep(fs, fr)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return z, out.Bits, out.Blocks, nil
+	}
+
+	sess := &session{
+		paramsName: name,
+		batch:      params.Usable(),
+		delta:      delta,
+		tokenS:     tokenS,
+		tokenR:     tokenR,
+		connA:      connA,
+		connB:      connB,
+		refs:       1,
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		connA.Close()
+		connB.Close()
+		return nil, errors.New("otserv: server closed")
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		connA.Close()
+		connB.Close()
+		return nil, fmt.Errorf("otserv: session limit %d reached", s.cfg.MaxSessions)
+	}
+	s.nextID++
+	sess.id = s.nextID
+	// Start prefetching only once the session is registered.
+	sess.pool = pool.NewDealt(src, pool.Config{Depth: depth, LowWater: req.LowWater})
+	s.sessions[sess.id] = sess
+	s.opened++
+	s.mu.Unlock()
+	return sess, nil
+}
+
+func (s *Server) handleAttach(body []byte, owned map[uint64]*attachment) []byte {
+	var req attachReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return respErr(fmt.Errorf("otserv: bad ATTACH: %w", err))
+	}
+	s.mu.Lock()
+	sess, ok := s.sessions[req.Session]
+	var role Role
+	if ok {
+		// The token is the capability: it selects the half this
+		// attachment may draw, and without one of the session's two
+		// tokens there is no access at all. Constant-time compare
+		// keeps the 128-bit secrets unguessable in practice.
+		switch {
+		case subtle.ConstantTimeCompare([]byte(req.Token), []byte(sess.tokenS)) == 1:
+			role = RoleSender
+		case subtle.ConstantTimeCompare([]byte(req.Token), []byte(sess.tokenR)) == 1:
+			role = RoleReceiver
+		default:
+			ok = false
+		}
+	}
+	if ok {
+		sess.refs++
+	}
+	s.mu.Unlock()
+	if !ok {
+		// One error for a missing session and a bad token alike, so
+		// probing cannot distinguish the two.
+		return respErr(fmt.Errorf("otserv: no session %d for that token", req.Session))
+	}
+	at := owned[req.Session]
+	if at == nil {
+		at = &attachment{sess: sess}
+		owned[req.Session] = at
+	}
+	at.count++
+	at.sender = at.sender || role == RoleSender
+	at.receiver = at.receiver || role == RoleReceiver
+	return respJSON(attachResp{Params: sess.paramsName, Batch: sess.batch, Role: role})
+}
+
+func (s *Server) handleDraw(op byte, body []byte, owned map[uint64]*attachment) []byte {
+	id, n, err := parseSessionN(body)
+	if err != nil {
+		return respErr(err)
+	}
+	at, ok := owned[id]
+	if !ok {
+		return respErr(fmt.Errorf("otserv: session %d not attached on this conn", id))
+	}
+	if n < 0 || n > MaxDraw {
+		return respErr(fmt.Errorf("otserv: draw of %d outside [0, %d]", n, MaxDraw))
+	}
+	if op == opDrawS {
+		if !at.sender {
+			return respErr(fmt.Errorf("otserv: attachment to session %d has no sender role", id))
+		}
+		z, err := at.sess.pool.SenderCOTs(n)
+		if err != nil {
+			return respErr(err)
+		}
+		return respOK(block.ToBytes(z))
+	}
+	if !at.receiver {
+		return respErr(fmt.Errorf("otserv: attachment to session %d has no receiver role", id))
+	}
+	bits, blocks, err := at.sess.pool.ReceiverCOTs(n)
+	if err != nil {
+		return respErr(err)
+	}
+	return respOK(drawRResp(bits, blocks))
+}
+
+func halfStats(st pool.Stats) HalfStats {
+	return HalfStats{
+		Generated:    st.Generated,
+		Dispensed:    st.Dispensed,
+		Refills:      st.Refills,
+		Draws:        st.Draws,
+		BlockedDraws: st.BlockedDraws,
+		BlockedNS:    st.BlockedTime.Nanoseconds(),
+		Buffered:     st.Buffered,
+	}
+}
+
+func (sess *session) stats(refs int) SessionStats {
+	ss, rs := sess.pool.Stats()
+	return SessionStats{
+		ID:       sess.id,
+		Params:   sess.paramsName,
+		Refs:     refs,
+		Sender:   halfStats(ss),
+		Receiver: halfStats(rs),
+	}
+}
+
+// handleStats serves counters. Per-session stats require an
+// attachment on this conn, so an unprivileged peer cannot probe
+// individual session liveness; the server-wide dump is deliberately
+// public operator telemetry (ids and counters are not capabilities —
+// attach tokens are).
+func (s *Server) handleStats(body []byte, owned map[uint64]*attachment) []byte {
+	id, err := parseSession(body)
+	if err != nil {
+		return respErr(err)
+	}
+	if id != 0 {
+		at, ok := owned[id]
+		if !ok {
+			return respErr(fmt.Errorf("otserv: session %d not attached on this conn", id))
+		}
+		s.mu.Lock()
+		refs := at.sess.refs
+		s.mu.Unlock()
+		return respJSON(at.sess.stats(refs))
+	}
+	s.mu.Lock()
+	dump := StatsDump{
+		Sessions:       len(s.sessions),
+		SessionsOpened: s.opened,
+		SessionsClosed: s.torn,
+		MaxSessions:    s.cfg.MaxSessions,
+	}
+	type entry struct {
+		sess *session
+		refs int
+	}
+	entries := make([]entry, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		entries = append(entries, entry{sess, sess.refs})
+	}
+	s.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].sess.id < entries[j].sess.id })
+	for _, e := range entries {
+		dump.PerSession = append(dump.PerSession, e.sess.stats(e.refs))
+	}
+	return respJSON(dump)
+}
+
+// deref drops one reference to a session, tearing it down at zero.
+func (s *Server) deref(id uint64) {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	sess.refs--
+	if sess.refs > 0 {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.sessions, id)
+	s.torn++
+	s.mu.Unlock()
+	teardown(sess)
+}
+
+// teardown stops a session's prefetch worker and closes its pipes.
+// pool.Close completes the in-flight lockstep iteration first (the
+// worker drives both pipe endpoints, so it cannot wedge).
+func teardown(sess *session) {
+	sess.pool.Close()
+	sess.connA.Close()
+	sess.connB.Close()
+}

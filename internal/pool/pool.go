@@ -1,0 +1,697 @@
+// Package pool provides asynchronous, double-buffered correlation
+// pools: background workers run protocol iterations (ferret.Extend)
+// pipelined ahead of demand, so drawing correlations almost never
+// blocks on an interactive protocol round trip.
+//
+// A pool wraps a source function that produces one batch of
+// correlations per call. With Config.Depth == 0 the pool is a plain
+// synchronous buffer — the drawing goroutine runs the source inline,
+// exactly the seed code path. With Depth > 0 a worker goroutine keeps
+// up to Depth batches ready, refilling whenever the ready count falls
+// below the low-water mark (classic double-buffer hysteresis: dip
+// below low water, fill back up to high water).
+//
+// Because the source is usually an interactive two-party protocol,
+// asynchronous refills put protocol traffic on the pool's conn from a
+// background goroutine. The conn must therefore be dedicated to
+// correlation generation while a Depth > 0 pool is open; multiplex
+// application traffic onto a second conn. Dealt keeps both endpoints
+// of an in-process pair in lockstep under one worker, which is what
+// the otserv dispenser builds sessions from.
+//
+// The ready buffer is compacted as it drains: unlike the seed's
+// `buf = buf[n:]` pattern, a consumed prefix never pins the backing
+// array once it dominates the buffer.
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ironman/internal/block"
+)
+
+// ErrClosed is returned by draws on a closed pool.
+var ErrClosed = errors.New("pool: closed")
+
+// ErrRetained is returned by a Dealt draw that cannot be satisfied
+// because the paired half has hit its retention cap: generating more
+// would grow the undrawn half without bound. Drain the other half or
+// close the pool.
+var ErrRetained = errors.New("pool: paired half at retention cap")
+
+// compactMin is the consumed-prefix size (in correlations) below which
+// compaction is not worth the copy.
+const compactMin = 1024
+
+// Config tunes a pool.
+type Config struct {
+	// Depth is the number of source batches kept generated ahead of
+	// demand (the high-water mark, in batches). 0 disables the
+	// background worker: draws run the source inline on the calling
+	// goroutine, which is the synchronous seed behaviour.
+	Depth int
+	// LowWater is the ready-correlation count that triggers a
+	// background refill. 0 selects half the high-water mark. Ignored
+	// when Depth == 0.
+	LowWater int
+	// MaxBuffered caps how many ready correlations either half of a
+	// Dealt pool may retain (correlations are pairwise, so a consumer
+	// that drains only one half grows the other with every refill).
+	// When the cap blocks generation, draws on the starved half fail
+	// with ErrRetained instead of exhausting memory. 0 selects
+	// (Depth+8) batches; negative disables the cap. Ignored by Sender
+	// and Receiver pools, whose single buffer is bounded by demand.
+	MaxBuffered int
+}
+
+// Stats are one pool's lifetime counters. All counts are correlations
+// unless noted.
+type Stats struct {
+	Generated    uint64        // produced by the source
+	Dispensed    uint64        // handed to callers
+	Refills      uint64        // source invocations
+	Draws        uint64        // draw calls
+	BlockedDraws uint64        // draws that had to wait for generation
+	BlockedTime  time.Duration // total time draws spent waiting
+	Buffered     int           // ready correlations right now
+}
+
+// core holds the state shared by all pool flavours. Methods are called
+// with mu held unless noted.
+type core struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	cfg     Config
+	batch   int // observed source batch size; 0 until the first refill
+	filling bool
+	demand  int // largest unsatisfied draw, 0 when none waits
+	err     error
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+func (c *core) init(cfg Config) {
+	c.cfg = cfg
+	c.cond = sync.NewCond(&c.mu)
+	c.filling = true // prefetch to high water right away
+}
+
+// needRefill decides whether the worker should run the source, given
+// the current ready count (of the most-depleted buffer).
+func (c *core) needRefill(ready int) bool {
+	if c.closed || c.err != nil {
+		return false
+	}
+	if c.demand > ready {
+		return true
+	}
+	if c.batch == 0 {
+		return true // bootstrap: no batch size known yet
+	}
+	hw := c.cfg.Depth * c.batch
+	lw := c.cfg.LowWater
+	if lw <= 0 {
+		lw = hw / 2
+	}
+	if lw > hw {
+		lw = hw
+	}
+	if c.filling {
+		if ready < hw {
+			return true
+		}
+		c.filling = false
+		return false
+	}
+	if ready < lw {
+		c.filling = true
+		return true
+	}
+	return false
+}
+
+// noteBatch records a completed refill of n correlations.
+func (c *core) noteBatch(n int) error {
+	if c.batch == 0 {
+		if n == 0 {
+			return errors.New("pool: source produced an empty batch")
+		}
+		c.batch = n
+	}
+	return nil
+}
+
+// runWorker is the background refill loop. ready and refill are
+// supplied by the concrete pool; refill runs the (interactive) source
+// outside the lock and appends under it.
+func (c *core) runWorker(ready func() int, refill func() error) {
+	defer c.wg.Done()
+	for {
+		c.mu.Lock()
+		for !c.closed && c.err == nil && !c.needRefill(ready()) {
+			c.cond.Wait()
+		}
+		stop := c.closed || c.err != nil
+		c.mu.Unlock()
+		if stop {
+			return
+		}
+		err := refill()
+		c.mu.Lock()
+		if err != nil {
+			c.err = err
+		}
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// await blocks until ready() >= n, the pool closes, the source fails,
+// or stalled (optional) reports that generation cannot proceed.
+// Returns with mu held. stats is the half being drawn from; pending
+// (optional) mirrors the unmet demand for that half so cap accounting
+// can discount correlations a waiting draw is about to consume.
+// Waiters re-assert demand every iteration, so clearing it on exit is
+// safe with other draws still queued.
+func (c *core) await(n int, ready func() int, stats *Stats, stalled func() error, pending *int) error {
+	blocked := false
+	var begin time.Time
+	defer func() {
+		if blocked {
+			stats.BlockedTime += time.Since(begin)
+		}
+		c.demand = 0
+		if pending != nil {
+			*pending = 0
+		}
+	}()
+	for ready() < n {
+		if c.closed {
+			return ErrClosed
+		}
+		if c.err != nil {
+			return c.err
+		}
+		if n > c.demand {
+			c.demand = n
+		}
+		if pending != nil && n > *pending {
+			*pending = n
+		}
+		if stalled != nil {
+			if err := stalled(); err != nil {
+				return err
+			}
+		}
+		if !blocked {
+			blocked = true
+			stats.BlockedDraws++
+			begin = time.Now()
+		}
+		c.cond.Broadcast() // wake the worker
+		c.cond.Wait()
+	}
+	return nil
+}
+
+// close marks the pool closed and waits for the worker to exit. If the
+// worker is mid-iteration inside an interactive source, close blocks
+// until that iteration completes; interrupt a wedged iteration by
+// closing the underlying conn first.
+func (c *core) close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// blockBuf is a draining block buffer with prefix compaction.
+type blockBuf struct {
+	buf  []block.Block
+	head int
+}
+
+func (b *blockBuf) ready() int { return len(b.buf) - b.head }
+
+func (b *blockBuf) push(z []block.Block) { b.buf = append(b.buf, z...) }
+
+// pop copies out n correlations and compacts the buffer once the
+// consumed prefix dominates, so dispensed correlations never pin the
+// pool's backing array.
+func (b *blockBuf) pop(n int) []block.Block {
+	out := make([]block.Block, n)
+	copy(out, b.buf[b.head:b.head+n])
+	b.head += n
+	if b.head >= compactMin && b.head*2 >= len(b.buf) {
+		rest := copy(b.buf, b.buf[b.head:])
+		b.buf = b.buf[:rest]
+		b.head = 0
+	}
+	return out
+}
+
+// bitBuf is the receiver-half twin: choice bits plus r_b blocks.
+type bitBuf struct {
+	bits   []bool
+	blocks []block.Block
+	head   int
+}
+
+func (b *bitBuf) ready() int { return len(b.bits) - b.head }
+
+func (b *bitBuf) push(bits []bool, blocks []block.Block) {
+	b.bits = append(b.bits, bits...)
+	b.blocks = append(b.blocks, blocks...)
+}
+
+func (b *bitBuf) pop(n int) ([]bool, []block.Block) {
+	bits := make([]bool, n)
+	blocks := make([]block.Block, n)
+	copy(bits, b.bits[b.head:b.head+n])
+	copy(blocks, b.blocks[b.head:b.head+n])
+	b.head += n
+	if b.head >= compactMin && b.head*2 >= len(b.bits) {
+		rest := copy(b.bits, b.bits[b.head:])
+		copy(b.blocks, b.blocks[b.head:])
+		b.bits = b.bits[:rest]
+		b.blocks = b.blocks[:rest]
+		b.head = 0
+	}
+	return bits, blocks
+}
+
+// SenderSource produces one batch of sender-half correlations
+// (r0 blocks under the pool owner's Δ). ferret.(*Sender).Extend fits.
+type SenderSource func() ([]block.Block, error)
+
+// Sender buffers the sender half of a correlation stream.
+type Sender struct {
+	core
+	src   SenderSource
+	buf   blockBuf
+	stats Stats
+}
+
+// NewSender builds a pool over src. With cfg.Depth > 0 a background
+// worker starts prefetching immediately.
+func NewSender(src SenderSource, cfg Config) *Sender {
+	p := &Sender{src: src}
+	p.init(cfg)
+	if cfg.Depth > 0 {
+		p.wg.Add(1)
+		go p.runWorker(p.buf.ready, p.refill)
+	}
+	return p
+}
+
+// ingest appends one source batch; called with mu held.
+func (p *Sender) ingest(z []block.Block) error {
+	if err := p.noteBatch(len(z)); err != nil {
+		return err
+	}
+	p.buf.push(z)
+	p.stats.Refills++
+	p.stats.Generated += uint64(len(z))
+	return nil
+}
+
+// refill runs one source batch; called by the worker outside the lock.
+func (p *Sender) refill() error {
+	z, err := p.src()
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ingest(z)
+}
+
+// COTs draws n correlations, waiting for (or, when Depth == 0,
+// running) generation as needed. The returned slice is owned by the
+// caller.
+func (p *Sender) COTs(n int) ([]block.Block, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("pool: negative draw %d", n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Draws++
+	if p.cfg.Depth <= 0 {
+		for p.buf.ready() < n {
+			if p.closed {
+				return nil, ErrClosed
+			}
+			if p.err != nil {
+				return nil, p.err
+			}
+			z, err := p.src()
+			if err == nil {
+				err = p.ingest(z)
+			}
+			if err != nil {
+				p.err = err
+				return nil, err
+			}
+		}
+	} else if err := p.await(n, p.buf.ready, &p.stats, nil, nil); err != nil {
+		return nil, err
+	}
+	out := p.buf.pop(n)
+	p.stats.Dispensed += uint64(n)
+	p.cond.Broadcast() // the draw may have crossed the low-water mark
+	return out, nil
+}
+
+// Stats snapshots the counters.
+func (p *Sender) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Buffered = p.buf.ready()
+	return s
+}
+
+// Close stops the worker and fails subsequent draws. See core.close
+// for the in-flight-iteration caveat.
+func (p *Sender) Close() error {
+	p.close()
+	return nil
+}
+
+// ReceiverSource produces one batch of receiver-half correlations
+// (choice bits and r_b blocks).
+type ReceiverSource func() ([]bool, []block.Block, error)
+
+// Receiver buffers the receiver half of a correlation stream.
+type Receiver struct {
+	core
+	src   ReceiverSource
+	buf   bitBuf
+	stats Stats
+}
+
+// NewReceiver builds a pool over src; see NewSender.
+func NewReceiver(src ReceiverSource, cfg Config) *Receiver {
+	p := &Receiver{src: src}
+	p.init(cfg)
+	if cfg.Depth > 0 {
+		p.wg.Add(1)
+		go p.runWorker(p.buf.ready, p.refill)
+	}
+	return p
+}
+
+// ingest appends one source batch; called with mu held.
+func (p *Receiver) ingest(bits []bool, blocks []block.Block) error {
+	if len(bits) != len(blocks) {
+		return fmt.Errorf("pool: source bits/blocks mismatch %d/%d", len(bits), len(blocks))
+	}
+	if err := p.noteBatch(len(bits)); err != nil {
+		return err
+	}
+	p.buf.push(bits, blocks)
+	p.stats.Refills++
+	p.stats.Generated += uint64(len(bits))
+	return nil
+}
+
+func (p *Receiver) refill() error {
+	bits, blocks, err := p.src()
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ingest(bits, blocks)
+}
+
+// COTs draws n correlations: choice bits and matching r_b blocks.
+func (p *Receiver) COTs(n int) ([]bool, []block.Block, error) {
+	if n < 0 {
+		return nil, nil, fmt.Errorf("pool: negative draw %d", n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Draws++
+	if p.cfg.Depth <= 0 {
+		for p.buf.ready() < n {
+			if p.closed {
+				return nil, nil, ErrClosed
+			}
+			if p.err != nil {
+				return nil, nil, p.err
+			}
+			bits, blocks, err := p.src()
+			if err == nil {
+				err = p.ingest(bits, blocks)
+			}
+			if err != nil {
+				p.err = err
+				return nil, nil, err
+			}
+		}
+	} else if err := p.await(n, p.buf.ready, &p.stats, nil, nil); err != nil {
+		return nil, nil, err
+	}
+	bits, blocks := p.buf.pop(n)
+	p.stats.Dispensed += uint64(n)
+	p.cond.Broadcast()
+	return bits, blocks, nil
+}
+
+// Stats snapshots the counters.
+func (p *Receiver) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Buffered = p.buf.ready()
+	return s
+}
+
+// Close stops the worker and fails subsequent draws.
+func (p *Receiver) Close() error {
+	p.close()
+	return nil
+}
+
+// DealtSource runs one lockstep iteration of both endpoints of an
+// in-process pair and returns the sender half (z) and the receiver
+// half (bits, y) of the fresh batch.
+type DealtSource func() (z []block.Block, bits []bool, y []block.Block, err error)
+
+// Dealt buffers both halves of an in-process dealt correlation stream
+// under a single worker, so sender-half and receiver-half draws can
+// proceed at independent rates without desynchronizing the two
+// protocol endpoints. Refills trigger on the more depleted half.
+// Correlations are pairwise, so an undrawn half retains every refill;
+// Config.MaxBuffered bounds that growth, failing draws on the starved
+// half with ErrRetained once the cap blocks generation (see
+// DESIGN.md).
+type Dealt struct {
+	core
+	src    DealtSource
+	sbuf   blockBuf
+	rbuf   bitBuf
+	sstats Stats
+	rstats Stats
+	// Unmet draw demand per half (mu held); capBlocked discounts it so
+	// correlations a waiting draw will immediately consume don't count
+	// as retained.
+	demandS int
+	demandR int
+}
+
+// NewDealt builds the two-halves pool; see NewSender for Depth
+// semantics.
+func NewDealt(src DealtSource, cfg Config) *Dealt {
+	p := &Dealt{src: src}
+	p.init(cfg)
+	if cfg.Depth > 0 {
+		p.wg.Add(1)
+		go p.runWorker(p.workerReady, p.refill)
+	}
+	return p
+}
+
+func (p *Dealt) minReady() int {
+	s, r := p.sbuf.ready(), p.rbuf.ready()
+	if r < s {
+		return r
+	}
+	return s
+}
+
+// retentionCap resolves Config.MaxBuffered (mu held): the per-half
+// correlation limit, or -1 while unlimited/unknown.
+func (p *Dealt) retentionCap() int {
+	if p.cfg.MaxBuffered < 0 || p.batch == 0 {
+		return -1
+	}
+	if p.cfg.MaxBuffered > 0 {
+		return p.cfg.MaxBuffered
+	}
+	return (p.cfg.Depth + 8) * p.batch
+}
+
+// capBlocked reports (mu held) whether another refill would push the
+// fuller half past the retention cap. Pending draw demand is
+// discounted: a half that a blocked draw is about to drain is not
+// "retained", so a large lockstep draw on both halves never trips the
+// cap.
+func (p *Dealt) capBlocked() bool {
+	limit := p.retentionCap()
+	if limit < 0 {
+		return false
+	}
+	max := p.sbuf.ready() - p.demandS
+	if r := p.rbuf.ready() - p.demandR; r > max {
+		max = r
+	}
+	return max+p.batch > limit
+}
+
+// workerReady is the worker's view of the ready count: while the
+// retention cap blocks generation it reports "plenty", parking the
+// worker regardless of demand on the starved half (draws there fail
+// with ErrRetained instead).
+func (p *Dealt) workerReady() int {
+	if p.capBlocked() {
+		return int(^uint(0) >> 1)
+	}
+	return p.minReady()
+}
+
+// stalled is the await hook: a draw that still needs correlations
+// while the cap blocks generation can never be satisfied.
+func (p *Dealt) stalled() error {
+	if p.capBlocked() {
+		return fmt.Errorf("%w (max %d buffered)", ErrRetained, p.retentionCap())
+	}
+	return nil
+}
+
+func (p *Dealt) refill() error {
+	z, bits, y, err := p.src()
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ingest(z, bits, y)
+}
+
+// ingest appends one lockstep batch to both halves; called with mu
+// held.
+func (p *Dealt) ingest(z []block.Block, bits []bool, y []block.Block) error {
+	if len(z) != len(bits) || len(z) != len(y) {
+		return fmt.Errorf("pool: dealt source length mismatch %d/%d/%d", len(z), len(bits), len(y))
+	}
+	if err := p.noteBatch(len(z)); err != nil {
+		return err
+	}
+	p.sbuf.push(z)
+	p.rbuf.push(bits, y)
+	p.sstats.Refills++
+	p.rstats.Refills++
+	p.sstats.Generated += uint64(len(z))
+	p.rstats.Generated += uint64(len(z))
+	return nil
+}
+
+func (p *Dealt) syncFill(need func() int) error {
+	for need() < 0 {
+		if p.closed {
+			return ErrClosed
+		}
+		if p.err != nil {
+			return p.err
+		}
+		if err := p.stalled(); err != nil {
+			return err
+		}
+		z, bits, y, err := p.src()
+		if err == nil {
+			err = p.ingest(z, bits, y)
+		}
+		if err != nil {
+			p.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// SenderCOTs draws n sender-half correlations (r0 blocks).
+func (p *Dealt) SenderCOTs(n int) ([]block.Block, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("pool: negative draw %d", n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sstats.Draws++
+	if p.cfg.Depth <= 0 {
+		p.demandS = n
+		err := p.syncFill(func() int { return p.sbuf.ready() - n })
+		p.demandS = 0
+		if err != nil {
+			return nil, err
+		}
+	} else if err := p.await(n, p.sbuf.ready, &p.sstats, p.stalled, &p.demandS); err != nil {
+		return nil, err
+	}
+	out := p.sbuf.pop(n)
+	p.sstats.Dispensed += uint64(n)
+	p.cond.Broadcast()
+	return out, nil
+}
+
+// ReceiverCOTs draws n receiver-half correlations (bits, r_b blocks).
+func (p *Dealt) ReceiverCOTs(n int) ([]bool, []block.Block, error) {
+	if n < 0 {
+		return nil, nil, fmt.Errorf("pool: negative draw %d", n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rstats.Draws++
+	if p.cfg.Depth <= 0 {
+		p.demandR = n
+		err := p.syncFill(func() int { return p.rbuf.ready() - n })
+		p.demandR = 0
+		if err != nil {
+			return nil, nil, err
+		}
+	} else if err := p.await(n, p.rbuf.ready, &p.rstats, p.stalled, &p.demandR); err != nil {
+		return nil, nil, err
+	}
+	bits, blocks := p.rbuf.pop(n)
+	p.rstats.Dispensed += uint64(n)
+	p.cond.Broadcast()
+	return bits, blocks, nil
+}
+
+// Stats snapshots both halves' counters.
+func (p *Dealt) Stats() (sender, receiver Stats) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, r := p.sstats, p.rstats
+	s.Buffered = p.sbuf.ready()
+	r.Buffered = p.rbuf.ready()
+	return s, r
+}
+
+// Close stops the worker and fails subsequent draws.
+func (p *Dealt) Close() error {
+	p.close()
+	return nil
+}

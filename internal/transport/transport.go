@@ -206,15 +206,30 @@ func RecvBlocks(c Conn, n int) ([]block.Block, error) {
 	return block.SliceFromBytes(msg), nil
 }
 
-// SendBits packs a bit slice (8 per byte, little-endian within bytes).
-func SendBits(c Conn, bits []bool) error {
+// PackBits packs a bit slice 8 per byte, little-endian within bytes —
+// the wire layout of every bit vector in this repo.
+func PackBits(bits []bool) []byte {
 	buf := make([]byte, (len(bits)+7)/8)
 	for i, b := range bits {
 		if b {
 			buf[i/8] |= 1 << uint(i%8)
 		}
 	}
-	return c.Send(buf)
+	return buf
+}
+
+// UnpackBits is the inverse of PackBits for a known bit count.
+func UnpackBits(buf []byte, n int) []bool {
+	bits := make([]bool, n)
+	for i := range bits {
+		bits[i] = buf[i/8]>>uint(i%8)&1 == 1
+	}
+	return bits
+}
+
+// SendBits packs a bit slice as one message.
+func SendBits(c Conn, bits []bool) error {
+	return c.Send(PackBits(bits))
 }
 
 // RecvBits receives exactly n packed bits.
@@ -226,11 +241,7 @@ func RecvBits(c Conn, n int) ([]bool, error) {
 	if len(msg) != (n+7)/8 {
 		return nil, fmt.Errorf("transport: expected %d bits, got %d bytes", n, len(msg))
 	}
-	bits := make([]bool, n)
-	for i := range bits {
-		bits[i] = msg[i/8]>>uint(i%8)&1 == 1
-	}
-	return bits, nil
+	return UnpackBits(msg, n), nil
 }
 
 // SendUints marshals a uint32 slice as one message.

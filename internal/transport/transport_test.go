@@ -1,8 +1,10 @@
 package transport
 
 import (
+	"fmt"
 	"net"
 	"reflect"
+	"sync"
 	"testing"
 
 	"ironman/internal/block"
@@ -132,6 +134,155 @@ func TestTCPRoundTrip(t *testing.T) {
 	}
 	if client.Stats().MsgsSent != 3 {
 		t.Fatalf("client stats: %+v", client.Stats())
+	}
+}
+
+// tcpPair builds a connected framed pair over loopback.
+func tcpPair(t *testing.T) (client, server Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			t.Error(err)
+			accepted <- nil
+			return
+		}
+		accepted <- NewTCP(nc)
+	}()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client = NewTCP(nc)
+	server = <-accepted
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestTCPZeroLengthMessage(t *testing.T) {
+	client, server := tcpPair(t)
+	// A zero-length message is a valid frame in both directions and
+	// must not be conflated with EOF or with the next frame.
+	if err := client.Send(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Send([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d bytes, want 0", len(got))
+	}
+	if got, err = server.Recv(); err != nil || string(got) != "after" {
+		t.Fatalf("frame after empty one corrupted: %q, %v", got, err)
+	}
+	if err := server.Send([]byte{}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = client.Recv(); err != nil || len(got) != 0 {
+		t.Fatalf("reverse empty frame: %q, %v", got, err)
+	}
+	st := client.Stats()
+	if st.MsgsSent != 2 || st.MsgsReceived != 1 {
+		t.Fatalf("stats must count empty frames: %+v", st)
+	}
+}
+
+func TestTCPRecvAfterPeerClose(t *testing.T) {
+	client, server := tcpPair(t)
+	if err := client.Send([]byte("last words")); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The buffered frame still arrives...
+	got, err := server.Recv()
+	if err != nil || string(got) != "last words" {
+		t.Fatalf("buffered frame: %q, %v", got, err)
+	}
+	// ...then Recv reports the closed peer, and keeps reporting it.
+	if _, err := server.Recv(); err == nil {
+		t.Fatal("Recv after peer close must fail")
+	}
+	if _, err := server.Recv(); err == nil {
+		t.Fatal("repeated Recv after peer close must fail")
+	}
+}
+
+func TestTCPConcurrentSendRecv(t *testing.T) {
+	// Multiple writers per endpoint with simultaneous reads in both
+	// directions: the write lock must keep frames intact (run under
+	// -race via scripts/ci.sh).
+	client, server := tcpPair(t)
+	const writers = 4
+	const msgs = 64
+	payload := func(tag, i int) []byte {
+		return []byte{byte(tag), byte(i), byte(i >> 8), 7}
+	}
+	pump := func(c Conn) {
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < msgs; i++ {
+					if err := c.Send(payload(w, i)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	drain := func(c Conn, got map[[2]byte]int) error {
+		for i := 0; i < writers*msgs; i++ {
+			msg, err := c.Recv()
+			if err != nil {
+				return err
+			}
+			if len(msg) != 4 || msg[3] != 7 {
+				return fmt.Errorf("frame torn: %v", msg)
+			}
+			got[[2]byte{msg[0], msg[1]}]++
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	results := make([]map[[2]byte]int, 2)
+	for i, c := range []Conn{client, server} {
+		wg.Add(1)
+		go func(i int, c Conn) {
+			defer wg.Done()
+			pump(c)
+		}(i, c)
+		wg.Add(1)
+		go func(i int, c Conn) {
+			defer wg.Done()
+			results[i] = make(map[[2]byte]int)
+			if err := drain(c, results[i]); err != nil {
+				t.Error(err)
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	for i, got := range results {
+		if len(got) != writers*msgs {
+			t.Fatalf("endpoint %d: %d distinct frames, want %d", i, len(got), writers*msgs)
+		}
 	}
 }
 

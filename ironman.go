@@ -18,11 +18,13 @@ package ironman
 import (
 	"fmt"
 	"net"
+	"time"
 
 	"ironman/internal/aesprg"
 	"ironman/internal/block"
 	"ironman/internal/cot"
 	"ironman/internal/ferret"
+	"ironman/internal/pool"
 	"ironman/internal/prg"
 	"ironman/internal/transport"
 )
@@ -56,6 +58,33 @@ type Options struct {
 	// FourAryChaCha selects the Ironman tree construction (default);
 	// set to false for the classic binary AES construction.
 	FourAryChaCha bool
+	// Prefetch is the number of Extend batches a background worker
+	// keeps generated ahead of demand (see internal/pool). 0 — the
+	// default — draws synchronously on the calling goroutine.
+	//
+	// With Prefetch > 0 protocol iterations run on a background
+	// goroutine, so the conn must be dedicated to correlation
+	// generation: do not run SendChosen/ReceiveChosen on the same conn
+	// while the endpoint is open. Endpoints from NewDealtPair share
+	// one lockstep generator, so any draw pattern is safe. Network
+	// endpoints (NewSender/NewReceiver) prefetch independently: give
+	// both peers the same Prefetch, and note that a single draw larger
+	// than the prefetched window still needs the peer drawing
+	// concurrently — exactly like the synchronous path, one side alone
+	// cannot run the interactive protocol. To shut down, close the
+	// conn first (interrupting any in-flight background iteration) and
+	// then call Close.
+	Prefetch int
+	// LowWater overrides the refill trigger (in correlations) when
+	// Prefetch > 0; 0 selects half the prefetched total.
+	LowWater int
+	// MaxBuffered caps how many correlations a dealt pair's undrawn
+	// half may retain before one-sided draws fail with ErrRetained
+	// (correlations are pairwise, so the lagging half keeps every
+	// batch until drawn). 0 selects Prefetch+8 batches; negative
+	// disables the cap. Only meaningful for NewDealtPair endpoints
+	// with Prefetch > 0.
+	MaxBuffered int
 	// Dealer skips the base-OT/IKNP initialization using local
 	// randomness — NOT secure, for tests and benchmarks only, and only
 	// valid with endpoints created through NewDealtPair.
@@ -70,24 +99,103 @@ func (o Options) ferretOpts() ferret.Options {
 	return fo
 }
 
+func (o Options) poolCfg() pool.Config {
+	return pool.Config{Depth: o.Prefetch, LowWater: o.LowWater, MaxBuffered: o.MaxBuffered}
+}
+
+// ErrRetained is returned by a dealt-pair draw whose paired half has
+// hit Options.MaxBuffered: generating more would grow the undrawn
+// half without bound. Drain the other endpoint or raise the cap.
+var ErrRetained = pool.ErrRetained
+
 // DefaultOptions is the Ironman design point.
 func DefaultOptions() Options { return Options{FourAryChaCha: true} }
+
+// PoolStats mirrors internal/pool.Stats for one endpoint's correlation
+// buffer: how many correlations the protocol generated and dispensed,
+// how many Extend refills ran, and how long draws spent blocked on
+// generation.
+type PoolStats struct {
+	Generated    uint64
+	Dispensed    uint64
+	Refills      uint64
+	Draws        uint64
+	BlockedDraws uint64
+	BlockedTime  time.Duration
+	Buffered     int
+}
+
+func poolStats(s pool.Stats) PoolStats {
+	return PoolStats{
+		Generated:    s.Generated,
+		Dispensed:    s.Dispensed,
+		Refills:      s.Refills,
+		Draws:        s.Draws,
+		BlockedDraws: s.BlockedDraws,
+		BlockedTime:  s.BlockedTime,
+		Buffered:     s.Buffered,
+	}
+}
+
+// senderDrawer is the sender half's buffer: a standalone pool.Sender
+// for network endpoints, or one half of a shared lockstep pool.Dealt
+// for dealt pairs.
+type senderDrawer interface {
+	COTs(n int) ([]Block, error)
+	Stats() pool.Stats
+	Close() error
+}
+
+type receiverDrawer interface {
+	COTs(n int) ([]bool, []Block, error)
+	Stats() pool.Stats
+	Close() error
+}
+
+// dealtSenderHalf / dealtReceiverHalf adapt a shared pool.Dealt to the
+// drawer interfaces. Close on either half closes the shared pool
+// (idempotent).
+type dealtSenderHalf struct{ d *pool.Dealt }
+
+func (h dealtSenderHalf) COTs(n int) ([]Block, error) { return h.d.SenderCOTs(n) }
+func (h dealtSenderHalf) Stats() pool.Stats           { s, _ := h.d.Stats(); return s }
+func (h dealtSenderHalf) Close() error                { return h.d.Close() }
+
+type dealtReceiverHalf struct{ d *pool.Dealt }
+
+func (h dealtReceiverHalf) COTs(n int) ([]bool, []Block, error) { return h.d.ReceiverCOTs(n) }
+func (h dealtReceiverHalf) Stats() pool.Stats                   { _, r := h.d.Stats(); return r }
+func (h dealtReceiverHalf) Close() error                        { return h.d.Close() }
 
 // Sender produces correlations r0/r1 = r0 ⊕ Δ and converts them to OTs.
 type Sender struct {
 	f    *ferret.Sender
+	p    senderDrawer
 	h    *aesprg.Hash
-	buf  []Block
 	otct uint64
 }
 
 // Receiver holds choice bits and r_b blocks.
 type Receiver struct {
-	f       *ferret.Receiver
-	h       *aesprg.Hash
-	bufBits []bool
-	bufBlks []Block
-	otct    uint64
+	f    *ferret.Receiver
+	p    receiverDrawer
+	h    *aesprg.Hash
+	otct uint64
+}
+
+func newSender(f *ferret.Sender, opts Options) *Sender {
+	return &Sender{f: f, p: pool.NewSender(f.Extend, opts.poolCfg()), h: aesprg.NewHash()}
+}
+
+func newReceiver(f *ferret.Receiver, opts Options) *Receiver {
+	src := func() ([]bool, []Block, error) {
+		out, err := f.Extend()
+		if err != nil {
+			return nil, nil, err
+		}
+		return out.Bits, out.Blocks, nil
+	}
+	return &Receiver{f: f, p: pool.NewReceiver(src, opts.poolCfg()), h: aesprg.NewHash()}
 }
 
 // NewSender initializes the sending endpoint (runs base OTs and IKNP
@@ -98,7 +206,7 @@ func NewSender(conn Conn, delta Block, params Params, opts Options) (*Sender, er
 	if err != nil {
 		return nil, err
 	}
-	return &Sender{f: f, h: aesprg.NewHash()}, nil
+	return newSender(f, opts), nil
 }
 
 // NewReceiver initializes the receiving endpoint.
@@ -107,18 +215,44 @@ func NewReceiver(conn Conn, params Params, opts Options) (*Receiver, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Receiver{f: f, h: aesprg.NewHash()}, nil
+	return newReceiver(f, opts), nil
+}
+
+// lockstepSource adapts ferret.ExtendLockstep to the pool.Dealt
+// source shape.
+func lockstepSource(fs *ferret.Sender, fr *ferret.Receiver) pool.DealtSource {
+	return func() ([]Block, []bool, []Block, error) {
+		z, out, err := ferret.ExtendLockstep(fs, fr)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return z, out.Bits, out.Blocks, nil
+	}
 }
 
 // NewDealtPair returns an initialized pair whose first correlations
 // come from a local trusted dealer instead of base OTs. Useful for
 // single-process examples and benchmarks of post-init behaviour.
+//
+// With Options.Prefetch > 0 the pair shares a single lockstep
+// generator (pool.Dealt): draws in any order are deadlock-free, and a
+// one-sided draw is bounded only by Options.MaxBuffered (the undrawn
+// half retains every generated batch; past the cap the draw fails
+// with ErrRetained instead of exhausting memory). Because the
+// generator is shared, Close on either endpoint stops prefetching for
+// both.
 func NewDealtPair(connS, connR Conn, delta Block, params Params, opts Options) (*Sender, *Receiver, error) {
 	fs, fr, err := ferret.DealPools(connS, connR, delta, params, opts.ferretOpts())
 	if err != nil {
 		return nil, nil, err
 	}
-	return &Sender{f: fs, h: aesprg.NewHash()}, &Receiver{f: fr, h: aesprg.NewHash()}, nil
+	if opts.Prefetch > 0 {
+		d := pool.NewDealt(lockstepSource(fs, fr), opts.poolCfg())
+		s := &Sender{f: fs, p: dealtSenderHalf{d}, h: aesprg.NewHash()}
+		r := &Receiver{f: fr, p: dealtReceiverHalf{d}, h: aesprg.NewHash()}
+		return s, r, nil
+	}
+	return newSender(fs, opts), newReceiver(fr, opts), nil
 }
 
 // RandomDelta samples a fresh global correlation.
@@ -134,34 +268,32 @@ func RandomDelta() (Block, error) {
 func (s *Sender) Delta() Block { return s.f.Delta }
 
 // COTs returns n correlations' r0 blocks (r1 = r0 ⊕ Δ implied),
-// running protocol iterations with the peer as needed.
-func (s *Sender) COTs(n int) ([]Block, error) {
-	for len(s.buf) < n {
-		z, err := s.f.Extend()
-		if err != nil {
-			return nil, err
-		}
-		s.buf = append(s.buf, z...)
-	}
-	out := s.buf[:n]
-	s.buf = s.buf[n:]
-	return out, nil
-}
+// running protocol iterations with the peer as needed. With
+// Options.Prefetch > 0 iterations run ahead of demand on a background
+// worker and warm draws return without touching the network.
+func (s *Sender) COTs(n int) ([]Block, error) { return s.p.COTs(n) }
+
+// PoolStats reports the endpoint's correlation-pool counters.
+func (s *Sender) PoolStats() PoolStats { return poolStats(s.p.Stats()) }
+
+// Close stops the endpoint's prefetch worker (a no-op for synchronous
+// endpoints). Dealt-pair endpoints share their generator, so closing
+// either endpoint stops draws on both — close only when the pair is
+// done. It does not close the conn; for network endpoints close the
+// conn FIRST when a background iteration may be in flight, or Close
+// waits for an iteration the stopped peer will never answer.
+func (s *Sender) Close() error { return s.p.Close() }
 
 // COTs returns n correlations: choice bits and r_b blocks.
-func (r *Receiver) COTs(n int) ([]bool, []Block, error) {
-	for len(r.bufBits) < n {
-		out, err := r.f.Extend()
-		if err != nil {
-			return nil, nil, err
-		}
-		r.bufBits = append(r.bufBits, out.Bits...)
-		r.bufBlks = append(r.bufBlks, out.Blocks...)
-	}
-	bits, blks := r.bufBits[:n], r.bufBlks[:n]
-	r.bufBits, r.bufBlks = r.bufBits[n:], r.bufBlks[n:]
-	return bits, blks, nil
-}
+func (r *Receiver) COTs(n int) ([]bool, []Block, error) { return r.p.COTs(n) }
+
+// PoolStats reports the endpoint's correlation-pool counters.
+func (r *Receiver) PoolStats() PoolStats { return poolStats(r.p.Stats()) }
+
+// Close stops the endpoint's prefetch worker (a no-op for synchronous
+// endpoints); the same shared-generator and conn-first caveats as
+// Sender.Close apply.
+func (r *Receiver) Close() error { return r.p.Close() }
 
 // RandomOTs converts n COTs into random OTs: the sender gets message
 // pairs (H(r0), H(r1)); the matching Receiver.RandomOTs yields

@@ -118,6 +118,45 @@ func TestChosenOTEndToEnd(t *testing.T) {
 	}
 }
 
+func TestPrefetchOption(t *testing.T) {
+	// With Prefetch > 0 both endpoints generate on background workers;
+	// the draw API and the correlations are unchanged.
+	a, b := Pipe()
+	delta, err := RandomDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Prefetch = 2
+	s, r, err := NewDealtPair(a, b, delta, smallParams(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	defer r.Close()
+	defer a.Close()
+	defer b.Close()
+	// Draw well past the prefetch window (4 batches vs Prefetch 2),
+	// sequentially: a dealt pair shares one lockstep generator, so a
+	// one-sided draw can never wedge waiting for the peer's worker.
+	n := 4 * smallParams().Usable()
+	z, err := s.COTs(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits, blocks, err := r.COTs(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyCOTs(delta, z, bits, blocks); err != nil {
+		t.Fatal(err)
+	}
+	st := s.PoolStats()
+	if st.Dispensed != uint64(n) || st.Generated < st.Dispensed || st.Refills < 4 {
+		t.Fatalf("pool stats: %+v", st)
+	}
+}
+
 func TestParamSets(t *testing.T) {
 	sets := ParamSets()
 	if len(sets) != 5 {

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# CI gate: formatting, vet, and the full test suite under the race
+# detector. Run from the repo root:
+#
+#   ./scripts/ci.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "CI OK"
