@@ -188,6 +188,20 @@ func BenchmarkTable6Area(b *testing.B) {
 	_ = out
 }
 
+// BenchmarkGMWAndThroughput measures the bitsliced GMW engine: a
+// 64-bit x 1024-element batched comparison through real bit-packed
+// chosen OTs over a pipe. Metrics: AND gates per second, wire bytes
+// per AND gate, and the reduction over the seed block-payload path.
+func BenchmarkGMWAndThroughput(b *testing.B) {
+	var r experiments.GMWResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.GMWBench(quick)
+	}
+	b.ReportMetric(r.GatesPerSec, "AND/s")
+	b.ReportMetric(r.BytesPerAND, "B/AND")
+	b.ReportMetric(r.WireReduction, "wire-reduction-x")
+}
+
 // BenchmarkProtocolExtend2to20 measures the real Go protocol — both
 // parties in-process — on the smallest Table 4 row. This is the
 // software datapoint behind the Figure 1(b)/12 baselines.

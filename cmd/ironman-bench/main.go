@@ -5,7 +5,9 @@
 //	ironman-bench [-quick] [-exp name] [-json]
 //
 // Experiment names: fig1a fig1b fig1c fig7 fig8 fig12 fig13 fig14
-// fig15 fig16 table2 table4 table5 table6 all (default all).
+// fig15 fig16 table2 table4 table5 table6 gmw all (default all).
+// "gmw" runs the real bitsliced GMW engine (batched 64-bit comparison)
+// and reports AND-gates/sec and wire bytes per AND gate.
 //
 // With -json the selected experiments are emitted as one JSON
 // document on stdout — {"meta": {...}, "experiments": {name:
@@ -76,6 +78,9 @@ var all = []experiment{
 	}},
 	{"table5", func(o experiments.Options) (any, string) {
 		return both(experiments.Table5(o), experiments.RenderTable5)
+	}},
+	{"gmw", func(o experiments.Options) (any, string) {
+		return both(experiments.GMWBench(o), experiments.RenderGMW)
 	}},
 }
 

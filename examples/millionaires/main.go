@@ -4,7 +4,10 @@
 // Two parties hold private 32-bit values x and y. Using GMW over
 // XOR-shared bits — with every AND gate powered by OT correlations from
 // two Ferret instances running in opposite directions (the paper's
-// role-switching scenario, §5.2) — they learn only whether x > y.
+// role-switching scenario, §5.2) — they learn only whether x > y. The
+// comparator is the engine's parallel-prefix network: 1+ceil(log2 32)
+// batched OT exchanges instead of one exchange per bit, with every
+// exchange shipping bit-packed OT frames.
 //
 //	go run ./examples/millionaires
 package main
@@ -63,9 +66,16 @@ func main() {
 	}()
 	pa, pb := <-poolsA, <-poolsB
 
+	base := connA.Stats()
+
+	// The NewParty handshake is interactive: both constructors (and
+	// the protocol that follows) run concurrently, one per goroutine.
 	resA := make(chan []bool, 1)
 	go func() {
-		partyA := gmw.NewParty(connA, pa.out, pa.in, true)
+		partyA, err := gmw.NewParty(connA, pa.out, pa.in, true)
+		if err != nil {
+			log.Fatal(err)
+		}
 		xs := partyA.NewPrivate(gmw.Uint64Bits(x, bitWidth), true)
 		ys := partyA.NewPrivate(nil2(bitWidth), false)
 		gt, err := partyA.GreaterThan(xs, ys)
@@ -76,11 +86,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("party A consumed %d AND gates (%d OTs)\n", partyA.ANDGates, 2*partyA.ANDGates)
+		fmt.Printf("party A consumed %d AND gates (%d OTs) in %d batched exchanges\n",
+			partyA.ANDGates, 2*partyA.ANDGates, partyA.Exchanges)
 		resA <- open
 	}()
 
-	partyB := gmw.NewParty(connB, pb.out, pb.in, false)
+	partyB, err := gmw.NewParty(connB, pb.out, pb.in, false)
+	if err != nil {
+		log.Fatal(err)
+	}
 	xsB := partyB.NewPrivate(nil2(bitWidth), false)
 	ysB := partyB.NewPrivate(gmw.Uint64Bits(y, bitWidth), true)
 	gtB, err := partyB.GreaterThan(xsB, ysB)
@@ -93,6 +107,9 @@ func main() {
 	}
 	openA := <-resA
 
+	stats := connA.Stats()
+	fmt.Printf("online phase: %d wire bytes, %d flights (comparator budget: %d exchanges)\n",
+		stats.TotalBytes()-base.TotalBytes(), stats.Flights-base.Flights, gmw.ComparatorExchanges(bitWidth))
 	fmt.Printf("x > y: A sees %v, B sees %v (truth: %v)\n", openA[0], openB[0], x > y)
 	if openA[0] != (x > y) || openB[0] != (x > y) {
 		log.Fatal("comparison result wrong")

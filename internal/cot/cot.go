@@ -160,6 +160,110 @@ func ReceiveChosen(conn transport.Conn, pool *ReceiverPool, h *aesprg.Hash, choi
 	return out, nil
 }
 
+// bit reads bit i of a limb-packed vector.
+func bit(limbs []uint64, i int) uint64 { return limbs[i/64] >> (uint(i) % 64) & 1 }
+
+// setBit ORs v (0 or 1) into bit i of a limb-packed vector.
+func setBit(limbs []uint64, i int, v uint64) { limbs[i/64] |= v << (uint(i) % 64) }
+
+// SendChosenBits runs the sender side of n chosen-message 1-of-2 OTs
+// whose messages are single bits, consuming one COT each. m0 and m1
+// are limb-packed bit vectors (64 bits per uint64, LSB-first): bit i
+// of m0/m1 is the message pair of instance i.
+//
+// Wire format (the bit-packed chosen-OT frame): the receiver sends
+// packed correction bits d_i = c_i ⊕ b_i (⌈n/8⌉ bytes); the sender
+// replies with a single 2·⌈n/8⌉-byte frame ct0 || ct1 where
+//
+//	ct0_i = m0_i ⊕ lsb(H(r_{d_i}))    ct1_i = m1_i ⊕ lsb(H(r_{1-d_i}))
+//
+// and H is tweaked by the pool offset exactly as in SendChosen. Versus
+// SendChosen's two 16-byte blocks per instance the reply carries 2
+// bits, a 128x payload reduction — this is what makes GMW AND gates
+// (1-bit secrets) cheap on the wire.
+func SendChosenBits(conn transport.Conn, pool *SenderPool, h *aesprg.Hash, m0, m1 []uint64, n int) error {
+	if limbs := transport.PackedLimbs(n); len(m0) < limbs || len(m1) < limbs {
+		return fmt.Errorf("cot: SendChosenBits needs %d limbs for %d bits, got %d/%d", limbs, n, len(m0), len(m1))
+	}
+	off, r0, err := pool.take(n)
+	if err != nil {
+		return err
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		return err
+	}
+	ds, err := transport.WireToPacked(msg, n)
+	if err != nil {
+		return err
+	}
+	ct0 := make([]uint64, transport.PackedLimbs(n))
+	ct1 := make([]uint64, transport.PackedLimbs(n))
+	for i := 0; i < n; i++ {
+		rd := r0[i]
+		rnd := r0[i].Xor(pool.Delta)
+		if bit(ds, i) == 1 {
+			rd, rnd = rnd, rd
+		}
+		tweak := uint64(off + i)
+		setBit(ct0, i, bit(m0, i)^h.Sum(rd, tweak).Lo&1)
+		setBit(ct1, i, bit(m1, i)^h.Sum(rnd, tweak).Lo&1)
+	}
+	frame := append(transport.PackedToWire(ct0, n), transport.PackedToWire(ct1, n)...)
+	return conn.Send(frame)
+}
+
+// ReceiveChosenBits runs the receiver side of SendChosenBits: choices
+// is a limb-packed choice-bit vector, and the result is the selected
+// message bits in the same packing (trailing bits past n are zero).
+func ReceiveChosenBits(conn transport.Conn, pool *ReceiverPool, h *aesprg.Hash, choices []uint64, n int) ([]uint64, error) {
+	limbs := transport.PackedLimbs(n)
+	if len(choices) < limbs {
+		return nil, fmt.Errorf("cot: ReceiveChosenBits needs %d limbs for %d bits, got %d", limbs, n, len(choices))
+	}
+	off, bits, rb, err := pool.take(n)
+	if err != nil {
+		return nil, err
+	}
+	ds := make([]uint64, limbs)
+	for i := 0; i < n; i++ {
+		c := bit(choices, i)
+		b := uint64(0)
+		if bits[i] {
+			b = 1
+		}
+		setBit(ds, i, c^b)
+	}
+	if err := conn.Send(transport.PackedToWire(ds, n)); err != nil {
+		return nil, err
+	}
+	frame, err := conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	half := (n + 7) / 8
+	if len(frame) != 2*half {
+		return nil, fmt.Errorf("cot: expected %d-byte bit-OT frame, got %d bytes", 2*half, len(frame))
+	}
+	ct0, err := transport.WireToPacked(frame[:half], n)
+	if err != nil {
+		return nil, err
+	}
+	ct1, err := transport.WireToPacked(frame[half:], n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, limbs)
+	for i := 0; i < n; i++ {
+		ct := bit(ct0, i)
+		if bit(choices, i) == 1 {
+			ct = bit(ct1, i)
+		}
+		setBit(out, i, ct^h.Sum(rb[i], uint64(off+i)).Lo&1)
+	}
+	return out, nil
+}
+
 // abOnePRG is the fixed PRG used inside the all-but-one GGM gadget.
 // A binary AES PRG keeps the gadget independent of the caller's choice
 // of tree PRG (it is a different, tiny tree).

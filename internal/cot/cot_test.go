@@ -123,6 +123,126 @@ func TestPoolExhaustion(t *testing.T) {
 	}
 }
 
+func TestChosenBitsOT(t *testing.T) {
+	for _, n := range []int{1, 7, 64, 100, 1000} {
+		sp, rp := pools(t, n)
+		h := aesprg.NewHash()
+		rng := rand.New(rand.NewSource(int64(n)))
+		limbs := (n + 63) / 64
+		m0 := make([]uint64, limbs)
+		m1 := make([]uint64, limbs)
+		choices := make([]uint64, limbs)
+		for i := range m0 {
+			m0[i] = rng.Uint64()
+			m1[i] = rng.Uint64()
+			choices[i] = rng.Uint64()
+		}
+		if r := uint(n % 64); r != 0 {
+			m0[limbs-1] &= 1<<r - 1
+			m1[limbs-1] &= 1<<r - 1
+			choices[limbs-1] &= 1<<r - 1
+		}
+		a, b := transport.Pipe()
+		errCh := make(chan error, 1)
+		go func() { errCh <- SendChosenBits(a, sp, h, m0, m1, n) }()
+		got, err := ReceiveChosenBits(b, rp, h, choices, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			want := bit(m0, i)
+			if bit(choices, i) == 1 {
+				want = bit(m1, i)
+			}
+			if bit(got, i) != want {
+				t.Fatalf("n=%d: bit OT %d wrong", n, i)
+			}
+		}
+		if sp.Used() != n || rp.Used() != n {
+			t.Fatalf("n=%d: pools must advance by one per OT", n)
+		}
+		// Wire budget: d frame + ct0||ct1 frame, ~3 bits per OT.
+		wantBytes := int64(3 * ((n + 7) / 8))
+		if got := a.Stats().TotalBytes(); got != wantBytes {
+			t.Fatalf("n=%d: moved %d wire bytes, want %d", n, got, wantBytes)
+		}
+	}
+}
+
+// TestChosenBitsInterleavedWithBlocks runs a block-payload batch and a
+// bit-payload batch back to back over the SAME pool: the shared cursor
+// must keep the hash tweaks aligned across mixed use, as the GMW
+// engine mixes legacy And (blocks) and AndPacked (bits) on one pool.
+func TestChosenBitsInterleavedWithBlocks(t *testing.T) {
+	sp, rp := pools(t, 128)
+	h := aesprg.NewHash()
+	a, b := transport.Pipe()
+
+	msgs := [][2]block.Block{{block.New(1, 2), block.New(3, 4)}, {block.New(5, 6), block.New(7, 8)}}
+	errCh := make(chan error, 1)
+	go func() { errCh <- SendChosen(a, sp, h, msgs) }()
+	gotBlocks, err := ReceiveChosen(b, rp, h, []bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if gotBlocks[0] != msgs[0][1] || gotBlocks[1] != msgs[1][0] {
+		t.Fatal("block batch wrong")
+	}
+
+	const n = 100
+	rng := rand.New(rand.NewSource(4))
+	m0 := []uint64{rng.Uint64(), rng.Uint64() & (1<<36 - 1)}
+	m1 := []uint64{rng.Uint64(), rng.Uint64() & (1<<36 - 1)}
+	choices := []uint64{rng.Uint64(), rng.Uint64() & (1<<36 - 1)}
+	go func() { errCh <- SendChosenBits(a, sp, h, m0, m1, n) }()
+	got, err := ReceiveChosenBits(b, rp, h, choices, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := bit(m0, i)
+		if bit(choices, i) == 1 {
+			want = bit(m1, i)
+		}
+		if bit(got, i) != want {
+			t.Fatalf("bit %d wrong after block batch", i)
+		}
+	}
+	if sp.Used() != 2+n || rp.Used() != 2+n {
+		t.Fatal("pool cursor out of lockstep")
+	}
+}
+
+func TestChosenBitsExhaustionAndShape(t *testing.T) {
+	sp, rp := pools(t, 1)
+	h := aesprg.NewHash()
+	a, b := transport.Pipe()
+	go func() {
+		_, _ = ReceiveChosenBits(b, rp, h, make([]uint64, 1), 2)
+		b.Close()
+		a.Close()
+	}()
+	err := SendChosenBits(a, sp, h, make([]uint64, 1), make([]uint64, 1), 2)
+	if !errors.Is(err, ErrExhausted) && err == nil {
+		t.Fatalf("err = %v, want exhaustion or closed pipe", err)
+	}
+	if err := SendChosenBits(a, sp, h, nil, nil, 64); err == nil {
+		t.Fatal("short limb slice must be rejected")
+	}
+	if _, err := ReceiveChosenBits(a, rp, h, nil, 64); err == nil {
+		t.Fatal("short choice slice must be rejected")
+	}
+}
+
 func TestAllButOne(t *testing.T) {
 	for _, m := range []int{2, 4, 8, 16} {
 		for alpha := 0; alpha < m; alpha++ {

@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+// TestGMWBench pins the acceptance numbers of the bitsliced engine: a
+// 64-bit batched comparison must finish in a logarithmic number of OT
+// exchanges and move >= 10x fewer wire bytes per AND gate than the
+// seed's block-payload path.
+func TestGMWBench(t *testing.T) {
+	r := GMWBench(Options{Quick: true})
+	if r.Width != 64 || r.Elems < 1024 {
+		t.Fatalf("unexpected shape: %dx%d", r.Width, r.Elems)
+	}
+	if want := (3*r.Width - 2) * r.Elems; r.ANDGates != want {
+		t.Fatalf("AND gates %d, want %d", r.ANDGates, want)
+	}
+	// 1 generate layer + ceil(log2 64) prefix rounds.
+	if r.Exchanges != 7 {
+		t.Fatalf("%d exchanges, want 7 (O(log w))", r.Exchanges)
+	}
+	// Two flights per exchange plus the reveal: far below the O(w*n)
+	// flights of sequential per-bit ANDs.
+	if r.Flights > 4*r.Exchanges+4 {
+		t.Fatalf("%d flights for %d exchanges", r.Flights, r.Exchanges)
+	}
+	if r.WireReduction < 10 {
+		t.Fatalf("wire reduction %.1fx < 10x (%.3f vs %.3f B/AND)",
+			r.WireReduction, r.LegacyBytesPerAND, r.BytesPerAND)
+	}
+	if r.GatesPerSec <= 0 || r.BytesPerAND <= 0 {
+		t.Fatal("throughput metrics must be positive")
+	}
+	if RenderGMW(r) == "" {
+		t.Fatal("render empty")
+	}
+}

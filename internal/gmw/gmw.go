@@ -1,4 +1,4 @@
-// Package gmw is a minimal two-party GMW engine over XOR-shared bits,
+// Package gmw is a bitsliced two-party GMW engine over XOR-shared bits,
 // the protocol layer PPML frameworks build their nonlinear functions on
 // (§2.2 of the Ironman paper): comparisons, multiplexers and the other
 // Boolean building blocks of ReLU/GELU evaluation all reduce to XOR
@@ -10,11 +10,32 @@
 // which is exactly the role-switching requirement that motivates the
 // paper's unified sender/receiver architecture (§5.2): each party runs
 // one OT-extension instance as sender and one as receiver.
+//
+// # Round model and level batching
+//
+// The engine is round-batched: every independent AND gate of a circuit
+// level should be evaluated in ONE two-flight OT exchange. Shares come
+// in two layouts — the legacy bool-vector Share, whose And gates ride
+// full 128-bit OT payloads (cot.SendChosen), and the word-packed
+// PackedShare, whose AndPacked/AndPackedMany gates ride bit-packed OT
+// frames (cot.SendChosenBits, ~3 bits of wire per OT instead of ~33
+// bytes). Multi-level circuits like GreaterThanVec are built as
+// parallel-prefix networks so depth — and therefore network flights —
+// is logarithmic in the operand width.
+//
+// Both parties must issue protocol calls (AndPacked, AndPackedMany,
+// GreaterThanVec, MuxVec, ReLUVec, Reveal*) in matching order with
+// matching shapes; the engine serializes each exchange's two OT passes
+// by the negotiated first flag so the message flights interleave
+// deterministically.
 package gmw
 
 import (
 	"crypto/rand"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"math/bits"
 
 	"ironman/internal/aesprg"
 	"ironman/internal/block"
@@ -22,31 +43,76 @@ import (
 	"ironman/internal/transport"
 )
 
+// ErrRoleConflict is returned by NewParty when the role handshake
+// discovers both parties set (or both cleared) the first flag — a
+// misconfiguration that would otherwise silently corrupt Not/NewPublic
+// results or deadlock the AND-gate message interleaving.
+var ErrRoleConflict = errors.New("gmw: role conflict")
+
+// handshakeMagic tags the NewParty negotiation message.
+const handshakeMagic = 'G'
+
 // Party is one side of a GMW evaluation. Each party holds a COT pool
 // for each direction: Out (this party is OT sender) and In (receiver).
 type Party struct {
 	conn transport.Conn
 	hash *aesprg.Hash
+	// prg is the local mask source: seeded once from crypto/rand at
+	// construction so the AND hot loop never syscalls.
+	prg *aesprg.Stream
 	// Out: correlations where this party is the OT sender.
 	Out *cot.SenderPool
 	// In: correlations where this party is the OT receiver.
 	In *cot.ReceiverPool
 	// first breaks the symmetry of message ordering: exactly one party
-	// must have it set.
+	// has it set (verified by the NewParty handshake).
 	first bool
 
-	ANDGates int // consumed AND gates (2 OTs each)
+	ANDGates  int // consumed AND gates (2 OTs each)
+	Exchanges int // batched AND exchanges (one two-flight OT round each)
 }
 
-// NewParty assembles a GMW party from its two correlation pools.
-// Exactly one of the two parties must set first=true (by convention
-// the protocol initiator).
-func NewParty(conn transport.Conn, out *cot.SenderPool, in *cot.ReceiverPool, first bool) *Party {
-	return &Party{conn: conn, hash: aesprg.NewHash(), Out: out, In: in, first: first}
+// NewParty assembles a GMW party from its two correlation pools and
+// runs a one-round role handshake with the peer: exactly one of the
+// two parties must set first=true (by convention the protocol
+// initiator). If both or neither claim the role, both sides fail with
+// ErrRoleConflict instead of silently computing wrong values.
+func NewParty(conn transport.Conn, out *cot.SenderPool, in *cot.ReceiverPool, first bool) (*Party, error) {
+	var seed [block.Size]byte
+	if _, err := rand.Read(seed[:]); err != nil {
+		return nil, err
+	}
+	p := &Party{
+		conn:  conn,
+		hash:  aesprg.NewHash(),
+		prg:   aesprg.NewStream(block.FromBytes(seed[:])),
+		Out:   out,
+		In:    in,
+		first: first,
+	}
+	role := byte(0)
+	if first {
+		role = 1
+	}
+	if err := conn.Send([]byte{handshakeMagic, role}); err != nil {
+		return nil, fmt.Errorf("gmw: handshake send: %w", err)
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("gmw: handshake recv: %w", err)
+	}
+	if len(msg) != 2 || msg[0] != handshakeMagic {
+		return nil, fmt.Errorf("gmw: handshake: unexpected message %x", msg)
+	}
+	if (msg[1] == 1) == first {
+		return nil, fmt.Errorf("%w: both parties set first=%v", ErrRoleConflict, first)
+	}
+	return p, nil
 }
 
-// Share is an XOR-shared bit vector: each party holds one of these and
-// the logical value is the element-wise XOR.
+// Share is an XOR-shared bit vector in the legacy bool layout: each
+// party holds one of these and the logical value is the element-wise
+// XOR. New code should prefer PackedShare.
 type Share []bool
 
 // NewPublic builds a share of a public constant: the first party holds
@@ -68,6 +134,47 @@ func (p *Party) NewPrivate(bits []bool, mine bool) Share {
 		copy(s, bits)
 	}
 	return s
+}
+
+// NewPublicPacked is NewPublic in the packed layout.
+func (p *Party) NewPublicPacked(bits []bool) PackedShare {
+	if p.first {
+		return PackBools(bits)
+	}
+	return NewPacked(len(bits))
+}
+
+// NewPrivatePacked is NewPrivate in the packed layout.
+func (p *Party) NewPrivatePacked(bits []bool, mine bool) PackedShare {
+	if mine {
+		return PackBools(bits)
+	}
+	return NewPacked(len(bits))
+}
+
+// NewPublicVec shares a public vector of width-bit values as
+// bit-planes (see PackVec).
+func (p *Party) NewPublicVec(vals []uint64, width int) []PackedShare {
+	if p.first {
+		return PackVec(vals, width)
+	}
+	return zeroPlanes(len(vals), width)
+}
+
+// NewPrivateVec shares this party's private value vector as bit-planes.
+func (p *Party) NewPrivateVec(vals []uint64, width int, mine bool) []PackedShare {
+	if mine {
+		return PackVec(vals, width)
+	}
+	return zeroPlanes(len(vals), width)
+}
+
+func zeroPlanes(n, width int) []PackedShare {
+	planes := make([]PackedShare, width)
+	for i := range planes {
+		planes[i] = NewPacked(n)
+	}
+	return planes
 }
 
 // Xor is a free local gate.
@@ -102,19 +209,37 @@ func bitBlock(b bool) block.Block {
 	return block.Block{}
 }
 
-// And evaluates element-wise AND over shares, consuming two chosen OTs
-// per element (one in each direction). Both parties call And with
-// their share; the engine serializes the two OT passes by the `first`
-// flag so the message flights interleave deterministically.
+// checkBudget fails an AND layer before any network traffic when the
+// pools cannot cover it. Both parties' pools advance in lockstep, so
+// both sides fail locally and loudly instead of deadlocking with one
+// party mid-exchange.
+func (p *Party) checkBudget(n int) error {
+	if p.Out.Remaining() < n || p.In.Remaining() < n {
+		return fmt.Errorf("gmw: AND layer of %d gates: %w (out %d, in %d)",
+			n, cot.ErrExhausted, p.Out.Remaining(), p.In.Remaining())
+	}
+	return nil
+}
+
+// And evaluates element-wise AND over legacy bool shares, consuming
+// two chosen OTs per element (one in each direction), each carrying a
+// full 128-bit payload. This is the legacy path — AndPacked moves the
+// same gates with ~16x less wire traffic.
 func (p *Party) And(a, b Share) (Share, error) {
 	if len(a) != len(b) {
 		return nil, fmt.Errorf("gmw: And length mismatch")
 	}
 	n := len(a)
+	if err := p.checkBudget(n); err != nil {
+		return nil, err
+	}
 	out := make(Share, n)
 	// Local term a_i·b_i.
 	for i := range out {
 		out[i] = a[i] && b[i]
+	}
+	if n == 0 {
+		return out, nil
 	}
 
 	send := func() error {
@@ -124,9 +249,7 @@ func (p *Party) And(a, b Share) (Share, error) {
 		msgs := make([][2]block.Block, n)
 		masks := make([]bool, n)
 		buf := make([]byte, (n+7)/8)
-		if _, err := rand.Read(buf); err != nil {
-			return err
-		}
+		p.prg.Fill(buf)
 		for i := range msgs {
 			mbit := buf[i/8]>>uint(i%8)&1 == 1
 			masks[i] = mbit
@@ -167,10 +290,115 @@ func (p *Party) And(a, b Share) (Share, error) {
 		return nil, err
 	}
 	p.ANDGates += n
+	p.Exchanges++
 	return out, nil
 }
 
-// Reveal opens a share to both parties.
+// maskLimbs draws n fresh mask bits from the party's PRG, packed.
+func (p *Party) maskLimbs(n int) []uint64 {
+	limbs := make([]uint64, transport.PackedLimbs(n))
+	buf := make([]byte, 8*len(limbs))
+	p.prg.Fill(buf)
+	for i := range limbs {
+		limbs[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	maskTail(limbs, n)
+	return limbs
+}
+
+// AndPacked evaluates element-wise AND over packed shares in a single
+// two-flight OT exchange, consuming two bit-payload chosen OTs per bit
+// (one in each direction, ~6 bits of wire per AND gate total).
+func (p *Party) AndPacked(a, b PackedShare) (PackedShare, error) {
+	if a.n != b.n {
+		return PackedShare{}, fmt.Errorf("gmw: AndPacked length mismatch: %d vs %d", a.n, b.n)
+	}
+	n := a.n
+	if err := p.checkBudget(n); err != nil {
+		return PackedShare{}, err
+	}
+	// Local term a_i·b_i.
+	out := PackedShare{n: n, limbs: make([]uint64, len(a.limbs))}
+	for i := range out.limbs {
+		out.limbs[i] = a.limbs[i] & b.limbs[i]
+	}
+	if n == 0 {
+		return out, nil
+	}
+
+	send := func() error {
+		masks := p.maskLimbs(n)
+		m1 := make([]uint64, len(masks))
+		for i := range m1 {
+			m1[i] = masks[i] ^ a.limbs[i]
+		}
+		if err := cot.SendChosenBits(p.conn, p.Out, p.hash, masks, m1, n); err != nil {
+			return err
+		}
+		for i := range out.limbs {
+			out.limbs[i] ^= masks[i]
+		}
+		return nil
+	}
+	recv := func() error {
+		got, err := cot.ReceiveChosenBits(p.conn, p.In, p.hash, b.limbs, n)
+		if err != nil {
+			return err
+		}
+		for i := range out.limbs {
+			out.limbs[i] ^= got[i]
+		}
+		return nil
+	}
+
+	var err error
+	if p.first {
+		if err = send(); err == nil {
+			err = recv()
+		}
+	} else {
+		if err = recv(); err == nil {
+			err = send()
+		}
+	}
+	if err != nil {
+		return PackedShare{}, err
+	}
+	p.ANDGates += n
+	p.Exchanges++
+	return out, nil
+}
+
+// AndPackedMany evaluates every (a, b) pair element-wise in ONE OT
+// exchange: the level-batching primitive. Callers collect all
+// independent AND gates of a circuit level and issue them as a single
+// call; the engine bit-concatenates the operands (no alignment
+// padding, so a layer consumes exactly as many COTs as it has gates)
+// and splits the results back out. Both parties must pass the same
+// number of pairs with matching lengths in the same order.
+func (p *Party) AndPackedMany(pairs [][2]PackedShare) ([]PackedShare, error) {
+	var a, b PackedShare
+	for i, pr := range pairs {
+		if pr[0].n != pr[1].n {
+			return nil, fmt.Errorf("gmw: AndPackedMany pair %d length mismatch: %d vs %d", i, pr[0].n, pr[1].n)
+		}
+		a.appendBits(pr[0])
+		b.appendBits(pr[1])
+	}
+	z, err := p.AndPacked(a, b)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PackedShare, len(pairs))
+	off := 0
+	for i, pr := range pairs {
+		out[i] = z.sliceBits(off, pr[0].n)
+		off += pr[0].n
+	}
+	return out, nil
+}
+
+// Reveal opens a legacy share to both parties.
 func (p *Party) Reveal(a Share) ([]bool, error) {
 	if p.first {
 		if err := transport.SendBits(p.conn, a); err != nil {
@@ -192,37 +420,169 @@ func (p *Party) Reveal(a Share) ([]bool, error) {
 	return Xor(a, peer), nil
 }
 
-// GreaterThan compares two shared unsigned integers given LSB-first bit
-// shares, returning a 1-bit share of (x > y). The ripple comparator
-// costs 2 AND gates per bit:
-//
-//	gt_i = (x_i ∧ ¬y_i) ⊕ (¬(x_i⊕y_i) ∧ gt_{i-1})
+// revealRaw opens a packed share, returning the plaintext still packed.
+func (p *Party) revealRaw(a PackedShare) (PackedShare, error) {
+	wire := transport.PackedToWire(a.limbs, a.n)
+	var peerMsg []byte
+	if p.first {
+		if err := p.conn.Send(wire); err != nil {
+			return PackedShare{}, err
+		}
+		m, err := p.conn.Recv()
+		if err != nil {
+			return PackedShare{}, err
+		}
+		peerMsg = m
+	} else {
+		m, err := p.conn.Recv()
+		if err != nil {
+			return PackedShare{}, err
+		}
+		if err := p.conn.Send(wire); err != nil {
+			return PackedShare{}, err
+		}
+		peerMsg = m
+	}
+	peer, err := transport.WireToPacked(peerMsg, a.n)
+	if err != nil {
+		return PackedShare{}, err
+	}
+	open := PackedShare{n: a.n, limbs: make([]uint64, len(a.limbs))}
+	for i := range open.limbs {
+		open.limbs[i] = a.limbs[i] ^ peer[i]
+	}
+	return open, nil
+}
+
+// RevealPacked opens a packed share to both parties.
+func (p *Party) RevealPacked(a PackedShare) ([]bool, error) {
+	open, err := p.revealRaw(a)
+	if err != nil {
+		return nil, err
+	}
+	return open.Bools(), nil
+}
+
+// RevealVec opens a bit-plane vector in a single exchange, returning
+// the plaintext values.
+func (p *Party) RevealVec(planes []PackedShare) ([]uint64, error) {
+	var all PackedShare
+	for _, pl := range planes {
+		all.appendBits(pl)
+	}
+	open, err := p.revealRaw(all)
+	if err != nil {
+		return nil, err
+	}
+	opened := make([]PackedShare, len(planes))
+	off := 0
+	for i, pl := range planes {
+		opened[i] = open.sliceBits(off, pl.n)
+		off += pl.n
+	}
+	return UnpackVec(opened), nil
+}
+
+// GreaterThan compares two shared unsigned integers given LSB-first
+// bit shares, returning a 1-bit share of (x > y). It routes through
+// the parallel-prefix comparator, so a width-w compare costs
+// 1+ceil(log2 w) batched exchanges instead of the 2w sequential
+// exchanges of a ripple comparator.
 func (p *Party) GreaterThan(x, y Share) (Share, error) {
 	if len(x) != len(y) {
 		return nil, fmt.Errorf("gmw: GreaterThan length mismatch")
 	}
-	gt := make(Share, 1)
-	for i := 0; i < len(x); i++ {
-		xi := Share{x[i]}
-		yi := Share{y[i]}
-		t1, err := p.And(xi, p.Not(yi))
-		if err != nil {
-			return nil, err
-		}
-		eq := p.Not(Xor(xi, yi))
-		t2, err := p.And(eq, gt)
-		if err != nil {
-			return nil, err
-		}
-		gt = Xor(t1, t2)
+	if len(x) == 0 {
+		return make(Share, 1), nil
 	}
-	return gt, nil
+	xp := make([]PackedShare, len(x))
+	yp := make([]PackedShare, len(y))
+	for i := range x {
+		xp[i] = PackBools(x[i : i+1])
+		yp[i] = PackBools(y[i : i+1])
+	}
+	gt, err := p.GreaterThanVec(xp, yp)
+	if err != nil {
+		return nil, err
+	}
+	return Share{gt.Bit(0)}, nil
 }
 
-// Mux selects bit-wise between two shared vectors by a shared condition
-// bit: out = c ? a : b = b ⊕ c·(a⊕b). Costs len(a) AND gates. This is
-// the multiplexer CrypTFlow2 builds ReLU from (§5.2 mentions its
-// two-directional OT use).
+// GreaterThanVec compares n pairs of width-w values held as LSB-first
+// bit-planes (see PackVec), returning an n-bit share with bit j set
+// iff x_j > y_j (unsigned). The comparator is a parallel-prefix
+// network: one batched AND layer computes per-bit generate signals
+// g_i = x_i ∧ ¬y_i (the equality signals e_i = ¬(x_i⊕y_i) are free),
+// then ceil(log2 w) combine rounds merge adjacent segments
+//
+//	gt = gt_hi ⊕ (eq_hi ∧ gt_lo)    eq = eq_hi ∧ eq_lo
+//
+// (gt_hi and eq_hi∧gt_lo are mutually exclusive, so XOR is OR). Every
+// round is ONE two-flight OT exchange regardless of n and w; the total
+// cost is (3w-2)·n AND gates in 1+ceil(log2 w) exchanges.
+func (p *Party) GreaterThanVec(x, y []PackedShare) (PackedShare, error) {
+	if len(x) != len(y) || len(x) == 0 {
+		return PackedShare{}, fmt.Errorf("gmw: GreaterThanVec needs matching nonzero widths, got %d vs %d", len(x), len(y))
+	}
+	n := x[0].n
+	for i := range x {
+		if x[i].n != n || y[i].n != n {
+			return PackedShare{}, fmt.Errorf("gmw: GreaterThanVec plane %d length mismatch", i)
+		}
+	}
+	w := len(x)
+	pairs := make([][2]PackedShare, w)
+	for i := range pairs {
+		pairs[i] = [2]PackedShare{x[i], p.NotPacked(y[i])}
+	}
+	g, err := p.AndPackedMany(pairs)
+	if err != nil {
+		return PackedShare{}, err
+	}
+	e := make([]PackedShare, w)
+	for i := range e {
+		e[i] = p.NotPacked(XorPacked(x[i], y[i]))
+	}
+	for len(g) > 1 {
+		m := len(g) / 2
+		pairs = pairs[:0]
+		for k := 0; k < m; k++ {
+			lo, hi := 2*k, 2*k+1
+			pairs = append(pairs, [2]PackedShare{e[hi], g[lo]}, [2]PackedShare{e[hi], e[lo]})
+		}
+		res, err := p.AndPackedMany(pairs)
+		if err != nil {
+			return PackedShare{}, err
+		}
+		ng := make([]PackedShare, 0, m+1)
+		ne := make([]PackedShare, 0, m+1)
+		for k := 0; k < m; k++ {
+			ng = append(ng, XorPacked(g[2*k+1], res[2*k]))
+			ne = append(ne, res[2*k+1])
+		}
+		if len(g)%2 == 1 {
+			ng = append(ng, g[len(g)-1])
+			ne = append(ne, e[len(e)-1])
+		}
+		g, e = ng, ne
+	}
+	return g[0], nil
+}
+
+// ComparatorExchanges returns the batched OT exchanges a width-w
+// GreaterThanVec costs: one generate layer plus a log-depth prefix
+// tree. Useful for sizing pools and asserting round budgets.
+func ComparatorExchanges(width int) int {
+	if width <= 1 {
+		return 1
+	}
+	return 1 + bits.Len(uint(width-1))
+}
+
+// Mux selects bit-wise between two legacy shared vectors by a shared
+// condition bit: out = c ? a : b = b ⊕ c·(a⊕b). Costs len(a) AND
+// gates. This is the multiplexer CrypTFlow2 builds ReLU from (§5.2
+// mentions its two-directional OT use).
 func (p *Party) Mux(c Share, a, b Share) (Share, error) {
 	if len(c) != 1 || len(a) != len(b) {
 		return nil, fmt.Errorf("gmw: Mux shape mismatch")
@@ -237,6 +597,48 @@ func (p *Party) Mux(c Share, a, b Share) (Share, error) {
 		return nil, err
 	}
 	return Xor(b, t), nil
+}
+
+// MuxVec selects element-wise between two bit-plane vectors by an
+// n-bit shared condition vector: out_j = c_j ? a_j : b_j. The whole
+// layer — every plane of every element — is one batched exchange of
+// n·w AND gates.
+func (p *Party) MuxVec(c PackedShare, a, b []PackedShare) ([]PackedShare, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("gmw: MuxVec width mismatch: %d vs %d", len(a), len(b))
+	}
+	pairs := make([][2]PackedShare, len(a))
+	for i := range a {
+		if a[i].n != c.n || b[i].n != c.n {
+			return nil, fmt.Errorf("gmw: MuxVec plane %d length mismatch", i)
+		}
+		pairs[i] = [2]PackedShare{c, XorPacked(a[i], b[i])}
+	}
+	t, err := p.AndPackedMany(pairs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PackedShare, len(a))
+	for i := range out {
+		out[i] = XorPacked(b[i], t[i])
+	}
+	return out, nil
+}
+
+// ReLUVec zeroes every two's-complement value whose sign bit (the
+// MSB plane) is set and keeps the rest — the GMW half of a ReLU layer
+// once Boolean shares of the activations exist. One batched exchange
+// of n·w AND gates: out_i = ¬sign ∧ x_i.
+func (p *Party) ReLUVec(x []PackedShare) ([]PackedShare, error) {
+	if len(x) == 0 {
+		return nil, nil
+	}
+	keep := p.NotPacked(x[len(x)-1])
+	pairs := make([][2]PackedShare, len(x))
+	for i := range pairs {
+		pairs[i] = [2]PackedShare{keep, x[i]}
+	}
+	return p.AndPackedMany(pairs)
 }
 
 // Uint64Bits returns the LSB-first bit decomposition of v.

@@ -1,6 +1,7 @@
 package gmw
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -10,7 +11,8 @@ import (
 )
 
 // parties wires two GMW parties with dealer COT pools in both
-// directions.
+// directions. The role handshake is interactive, so the two
+// constructors run concurrently.
 func parties(t *testing.T, budget int) (*Party, *Party) {
 	t.Helper()
 	connA, connB := transport.Pipe()
@@ -22,9 +24,24 @@ func parties(t *testing.T, budget int) (*Party, *Party) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := NewParty(connA, sAB, rBA, true)
-	b := NewParty(connB, sBA, rAB, false)
-	return a, b
+	type res struct {
+		p   *Party
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		p, err := NewParty(connA, sAB, rBA, true)
+		ch <- res{p, err}
+	}()
+	b, err := NewParty(connB, sBA, rAB, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := <-ch
+	if ra.err != nil {
+		t.Fatal(ra.err)
+	}
+	return ra.p, b
 }
 
 // run2 executes fa and fb concurrently (the two protocol parties).
@@ -43,6 +60,30 @@ func run2(t *testing.T, fa, fb func() error) {
 	wg.Wait()
 	if errA != nil {
 		t.Fatal(errA)
+	}
+}
+
+func TestRoleHandshakeConflict(t *testing.T) {
+	for _, first := range []bool{false, true} {
+		connA, connB := transport.Pipe()
+		sAB, rAB, err := cot.RandomPools(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sBA, rBA, err := cot.RandomPools(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errCh := make(chan error, 1)
+		go func() {
+			_, err := NewParty(connA, sAB, rBA, first)
+			errCh <- err
+		}()
+		_, errB := NewParty(connB, sBA, rAB, first)
+		errA := <-errCh
+		if !errors.Is(errA, ErrRoleConflict) || !errors.Is(errB, ErrRoleConflict) {
+			t.Fatalf("first=%v: want ErrRoleConflict on both sides, got %v / %v", first, errA, errB)
+		}
 	}
 }
 
@@ -134,7 +175,7 @@ func TestGreaterThanRandom32Bit(t *testing.T) {
 	for trial := 0; trial < 5; trial++ {
 		x := uint64(rng.Uint32())
 		y := uint64(rng.Uint32())
-		a, b := parties(t, 2*32+8)
+		a, b := parties(t, 3*32+8)
 		var got bool
 		run2(t, func() error {
 			xs := a.NewPrivate(Uint64Bits(x, 32), true)
@@ -159,8 +200,14 @@ func TestGreaterThanRandom32Bit(t *testing.T) {
 		if got != (x > y) {
 			t.Fatalf("GreaterThan(%d,%d) = %v", x, y, got)
 		}
-		if a.ANDGates != 64 {
-			t.Fatalf("32-bit compare should cost 64 ANDs, used %d", a.ANDGates)
+		// Parallel-prefix comparator: (3w-2) AND gates in
+		// 1+ceil(log2 w) batched exchanges.
+		if a.ANDGates != 3*32-2 {
+			t.Fatalf("32-bit compare should cost %d ANDs, used %d", 3*32-2, a.ANDGates)
+		}
+		if a.Exchanges != ComparatorExchanges(32) {
+			t.Fatalf("32-bit compare should take %d exchanges, took %d",
+				ComparatorExchanges(32), a.Exchanges)
 		}
 	}
 }
@@ -224,6 +271,18 @@ func TestShapeMismatchErrors(t *testing.T) {
 	}
 	if _, err := a.Mux(Share{true, false}, Share{true}, Share{true}); err == nil {
 		t.Fatal("Mux must reject bad condition shape")
+	}
+	if _, err := a.AndPacked(PackBools([]bool{true}), NewPacked(2)); err == nil {
+		t.Fatal("AndPacked must reject length mismatch")
+	}
+	if _, err := a.AndPackedMany([][2]PackedShare{{NewPacked(1), NewPacked(2)}}); err == nil {
+		t.Fatal("AndPackedMany must reject pair mismatch")
+	}
+	if _, err := a.GreaterThanVec(zeroPlanes(4, 2), zeroPlanes(4, 3)); err == nil {
+		t.Fatal("GreaterThanVec must reject width mismatch")
+	}
+	if _, err := a.MuxVec(NewPacked(4), zeroPlanes(4, 2), zeroPlanes(3, 2)); err == nil {
+		t.Fatal("MuxVec must reject plane mismatch")
 	}
 	defer func() {
 		if recover() == nil {

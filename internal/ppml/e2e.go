@@ -115,8 +115,16 @@ type Latency struct {
 // Total sums the components.
 func (l Latency) Total() float64 { return l.Linear + l.OTE + l.OnlineComm + l.Other }
 
-// OTEFraction is the Figure 1(a) headline number.
-func (l Latency) OTEFraction() float64 { return l.OTE / l.Total() }
+// OTEFraction is the Figure 1(a) headline number. A zero-cost latency
+// (e.g. a zero-element OperatorBench) has no OTE share: the fraction
+// is 0, not NaN.
+func (l Latency) OTEFraction() float64 {
+	t := l.Total()
+	if t == 0 {
+		return 0
+	}
+	return l.OTE / t
+}
 
 // EndToEnd composes one inference latency.
 func EndToEnd(f Framework, m Model, net simnet.Network, ot OTBackend) Latency {

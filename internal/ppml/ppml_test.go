@@ -1,6 +1,7 @@
 package ppml
 
 import (
+	"math"
 	"testing"
 
 	"ironman/internal/sim/gpu"
@@ -171,6 +172,53 @@ func TestUnsupportedPanics(t *testing.T) {
 		}
 	}()
 	EndToEnd(Bolt, ResNet50, simnet.LAN, DefaultCPUBaseline())
+}
+
+// TestOTEFractionZeroTotal: regression — a zero-cost latency (such as
+// a zero-element OperatorBench on a free backend) used to yield NaN.
+func TestOTEFractionZeroTotal(t *testing.T) {
+	var l Latency
+	if frac := l.OTEFraction(); frac != 0 {
+		t.Fatalf("zero-total OTEFraction = %v, want 0", frac)
+	}
+	if math.IsNaN((Latency{OTE: 1}).OTEFraction()) {
+		t.Fatal("nonzero latency must not be NaN")
+	}
+}
+
+// TestGMWLayerCosts checks the engine-derived operator plumbing against
+// the measured wire format: 2 OTs per AND, 3 bits per OT, log-depth
+// comparison rounds.
+func TestGMWLayerCosts(t *testing.T) {
+	c := GMWComparisonCost(4096, 64)
+	if c.ANDGates != 4096*(3*64-2) {
+		t.Fatalf("comparison ANDs %d", c.ANDGates)
+	}
+	if c.OTs != 2*c.ANDGates {
+		t.Fatal("2 OTs per AND")
+	}
+	if c.Exchanges != 7 {
+		t.Fatalf("64-bit comparison exchanges %d, want 7", c.Exchanges)
+	}
+	// 6 bits per AND gate -> 0.75 B/AND, ~86x under the 64.25 B/AND
+	// block path and comfortably >= 10x.
+	if bpa := c.BytesPerAND(); bpa < 0.7 || bpa > 0.8 {
+		t.Fatalf("bytes/AND %.3f outside the bit-packed band", bpa)
+	}
+	if GMWComparisonCost(1, 1).Exchanges != 1 {
+		t.Fatal("width-1 comparison is a single layer")
+	}
+	m := GMWMuxCost(1000, 16)
+	if m.ANDGates != 16000 || m.Exchanges != 1 {
+		t.Fatalf("mux cost %+v", m)
+	}
+	r := GMWReLUCost(1000, 16)
+	if r.ANDGates != m.ANDGates+GMWComparisonCost(1000, 16).ANDGates {
+		t.Fatal("ReLU = compare + mask")
+	}
+	if (GMWLayerCost{}).BytesPerAND() != 0 {
+		t.Fatal("empty layer has no per-gate cost")
+	}
 }
 
 func TestOperatorBenchUnknownOpPanics(t *testing.T) {

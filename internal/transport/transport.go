@@ -227,6 +227,36 @@ func UnpackBits(buf []byte, n int) []bool {
 	return bits
 }
 
+// PackedLimbs returns the uint64 limb count of an n-bit packed vector.
+func PackedLimbs(n int) int { return (n + 63) / 64 }
+
+// PackedToWire serializes the low n bits of a limb-packed vector into
+// the PackBits wire layout (8 bits per byte, little-endian within
+// bytes and limbs). Bits at index >= n must be zero.
+func PackedToWire(limbs []uint64, n int) []byte {
+	buf := make([]byte, (n+7)/8)
+	for i := range buf {
+		buf[i] = byte(limbs[i/8] >> (uint(i%8) * 8))
+	}
+	return buf
+}
+
+// WireToPacked parses an n-bit PackBits wire buffer into uint64 limbs,
+// zeroing any trailing bits past n.
+func WireToPacked(buf []byte, n int) ([]uint64, error) {
+	if len(buf) != (n+7)/8 {
+		return nil, fmt.Errorf("transport: expected %d packed bits, got %d bytes", n, len(buf))
+	}
+	limbs := make([]uint64, PackedLimbs(n))
+	for i, b := range buf {
+		limbs[i/8] |= uint64(b) << (uint(i%8) * 8)
+	}
+	if r := uint(n % 64); r != 0 {
+		limbs[len(limbs)-1] &= 1<<r - 1
+	}
+	return limbs, nil
+}
+
 // SendBits packs a bit slice as one message.
 func SendBits(c Conn, bits []bool) error {
 	return c.Send(PackBits(bits))

@@ -24,6 +24,7 @@ import (
 	"ironman/internal/block"
 	"ironman/internal/cot"
 	"ironman/internal/ferret"
+	"ironman/internal/gmw"
 	"ironman/internal/pool"
 	"ironman/internal/prg"
 	"ironman/internal/transport"
@@ -376,6 +377,57 @@ func (r *Receiver) ReceiveChosen(conn Conn, choices []bool) ([]Block, error) {
 		out[i] = ct.Xor(keys[i])
 	}
 	return out, nil
+}
+
+// GMW engine re-exports: the bitsliced two-party Boolean engine layered
+// on chosen OTs (internal/gmw; see the GMW section of DESIGN.md for the
+// round model and the level-batching contract). A GMWParty needs a
+// correlation pool per OT direction, so a two-party deployment runs two
+// endpoint pairs with swapped roles — the paper's §5.2 role-switching
+// scenario.
+type (
+	// GMWParty is one side of a GMW evaluation.
+	GMWParty = gmw.Party
+	// GMWShare is the legacy bool-vector share layout.
+	GMWShare = gmw.Share
+	// GMWPacked is the word-packed (bitsliced) share layout.
+	GMWPacked = gmw.PackedShare
+	// GMWSenderPool / GMWReceiverPool hold materialized correlations
+	// for one OT direction of a GMW party.
+	GMWSenderPool   = cot.SenderPool
+	GMWReceiverPool = cot.ReceiverPool
+)
+
+// ErrRoleConflict is returned by NewGMWParty when both parties claim
+// (or both disclaim) the initiator role.
+var ErrRoleConflict = gmw.ErrRoleConflict
+
+// NewGMWParty assembles a GMW party from one pool per OT direction and
+// runs the role handshake over conn (the peer must call it
+// concurrently with the opposite first flag). Draw the pools with
+// Sender.GMWPool / Receiver.GMWPool.
+func NewGMWParty(conn Conn, out *GMWSenderPool, in *GMWReceiverPool, first bool) (*GMWParty, error) {
+	return gmw.NewParty(conn, out, in, first)
+}
+
+// GMWPool materializes n correlations from this endpoint into a pool
+// the GMW engine can consume (this party as OT sender).
+func (s *Sender) GMWPool(n int) (*GMWSenderPool, error) {
+	r0, err := s.COTs(n)
+	if err != nil {
+		return nil, err
+	}
+	return cot.NewSenderPool(s.f.Delta, r0), nil
+}
+
+// GMWPool materializes n correlations from this endpoint into a pool
+// the GMW engine can consume (this party as OT receiver).
+func (r *Receiver) GMWPool(n int) (*GMWReceiverPool, error) {
+	bits, blocks, err := r.COTs(n)
+	if err != nil {
+		return nil, err
+	}
+	return cot.NewReceiverPool(bits, blocks), nil
 }
 
 // VerifyCOTs checks z = y ⊕ x·Δ for a batch (test/diagnostic helper —

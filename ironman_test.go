@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ironman/internal/ferret"
+	"ironman/internal/gmw"
 )
 
 func dealtPair(t testing.TB, params Params) (Conn, Conn, Block, *Sender, *Receiver) {
@@ -206,5 +207,84 @@ func TestBinaryAESOption(t *testing.T) {
 	}
 	if err := VerifyCOTs(delta, <-ch, bits, blocks); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestGMWOverPublicAPI runs a batched comparison through the exported
+// GMW surface: two dealt endpoint pairs with swapped roles supply the
+// two OT directions, and the whole 16-bit x 32-element compare takes a
+// logarithmic number of OT flights.
+func TestGMWOverPublicAPI(t *testing.T) {
+	const elems, width = 32, 16
+	budget := (3*width - 2) * elems
+	_, _, _, s1, r1 := dealtPair(t, smallParams())
+	_, _, _, s2, r2 := dealtPair(t, smallParams())
+	drawPair := func(s *Sender, r *Receiver) (*GMWSenderPool, *GMWReceiverPool) {
+		t.Helper()
+		ch := make(chan *GMWSenderPool, 1)
+		go func() {
+			sp, err := s.GMWPool(budget)
+			if err != nil {
+				t.Error(err)
+			}
+			ch <- sp
+		}()
+		rp, err := r.GMWPool(budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return <-ch, rp
+	}
+	out1, in1 := drawPair(s1, r1)
+	out2, in2 := drawPair(s2, r2)
+
+	xs := make([]uint64, elems)
+	ys := make([]uint64, elems)
+	for i := range xs {
+		xs[i] = uint64(i * 977 % (1 << width))
+		ys[i] = uint64((elems - i) * 1013 % (1 << width))
+	}
+	connA, connB := Pipe()
+	var openA []bool
+	done := make(chan error, 1)
+	go func() {
+		pa, err := NewGMWParty(connA, out1, in2, true)
+		if err != nil {
+			done <- err
+			return
+		}
+		gt, err := pa.GreaterThanVec(pa.NewPrivateVec(xs, width, true), pa.NewPrivateVec(make([]uint64, elems), width, false))
+		if err != nil {
+			done <- err
+			return
+		}
+		openA, err = pa.RevealPacked(gt)
+		done <- err
+	}()
+	pb, err := NewGMWParty(connB, out2, in1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := pb.GreaterThanVec(pb.NewPrivateVec(make([]uint64, elems), width, false), pb.NewPrivateVec(ys, width, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	openB, err := pb.RevealPacked(gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		want := xs[i] > ys[i]
+		if openA[i] != want || openB[i] != want {
+			t.Fatalf("elem %d: gt(%d,%d) = %v/%v", i, xs[i], ys[i], openA[i], openB[i])
+		}
+	}
+	// Round budget: handshake + 1+ceil(log2 w) AND exchanges + reveal,
+	// two flights each at most.
+	if flights := connA.Stats().Flights; flights > 2*(gmw.ComparatorExchanges(width)+2) {
+		t.Fatalf("comparison took %d flights, want O(log w)", flights)
 	}
 }

@@ -1,8 +1,13 @@
 #!/usr/bin/env sh
-# CI gate: formatting, vet, and the full test suite under the race
-# detector. Run from the repo root:
+# CI gate: formatting, vet, builds (including every example and
+# command binary), the full test suite under the race detector, and
+# the engine's headline perf metrics. Run from the repo root:
 #
 #   ./scripts/ci.sh
+#
+# Set BENCH_JSON=path to archive the ironman-bench metrics (AND
+# gates/sec, bytes per AND, wire reduction) as a BENCH_*.json
+# trajectory point instead of printing them.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,7 +26,21 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go test -race =="
+echo "== build example and command binaries =="
+bindir=$(mktemp -d)
+trap 'rm -rf "$bindir"' EXIT
+go build -o "$bindir/" ./examples/... ./cmd/...
+ls "$bindir"
+
+echo "== go test -race (includes the gmw engine) =="
 go test -race ./...
+
+echo "== gmw engine metrics (ironman-bench -exp gmw -json) =="
+if [ -n "${BENCH_JSON:-}" ]; then
+    go run ./cmd/ironman-bench -quick -exp gmw -json > "$BENCH_JSON"
+    echo "archived to $BENCH_JSON"
+else
+    go run ./cmd/ironman-bench -quick -exp gmw -json
+fi
 
 echo "CI OK"
