@@ -202,6 +202,20 @@ func BenchmarkGMWAndThroughput(b *testing.B) {
 	b.ReportMetric(r.WireReduction, "wire-reduction-x")
 }
 
+// BenchmarkArithTripleThroughput measures the arithmetic engine:
+// COT-backed Beaver-triple generation (Gilboa word OTs over a pipe)
+// plus a fixed-point secure matmul. Metrics: triples per second, wire
+// bytes per triple, and matmul GFLOP-equivalent throughput.
+func BenchmarkArithTripleThroughput(b *testing.B) {
+	var r experiments.ArithResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.ArithBench(quick)
+	}
+	b.ReportMetric(r.TriplesPerSec, "triples/s")
+	b.ReportMetric(r.BytesPerTriple, "B/triple")
+	b.ReportMetric(r.MatMulGFLOPs, "matmul-GFLOP/s")
+}
+
 // BenchmarkProtocolExtend2to20 measures the real Go protocol — both
 // parties in-process — on the smallest Table 4 row. This is the
 // software datapoint behind the Figure 1(b)/12 baselines.

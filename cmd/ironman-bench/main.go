@@ -2,12 +2,15 @@
 //
 // Usage:
 //
-//	ironman-bench [-quick] [-exp name] [-json]
+//	ironman-bench [-quick] [-exp name[,name...]] [-json]
 //
 // Experiment names: fig1a fig1b fig1c fig7 fig8 fig12 fig13 fig14
-// fig15 fig16 table2 table4 table5 table6 gmw all (default all).
-// "gmw" runs the real bitsliced GMW engine (batched 64-bit comparison)
-// and reports AND-gates/sec and wire bytes per AND gate.
+// fig15 fig16 table2 table4 table5 table6 gmw arith all (default
+// all); -exp accepts a comma-separated list. "gmw" runs the real
+// bitsliced GMW engine (batched 64-bit comparison) and reports
+// AND-gates/sec and wire bytes per AND gate; "arith" runs the real
+// arithmetic engine (COT-backed Beaver triples, fixed-point matmul)
+// and reports triples/sec and measured bytes per triple.
 //
 // With -json the selected experiments are emitted as one JSON
 // document on stdout — {"meta": {...}, "experiments": {name:
@@ -20,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"ironman/internal/experiments"
@@ -82,14 +86,35 @@ var all = []experiment{
 	{"gmw", func(o experiments.Options) (any, string) {
 		return both(experiments.GMWBench(o), experiments.RenderGMW)
 	}},
+	{"arith", func(o experiments.Options) (any, string) {
+		return both(experiments.ArithBench(o), experiments.RenderArith)
+	}},
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced sample sizes")
-	exp := flag.String("exp", "all", "experiment to run")
+	exp := flag.String("exp", "all", "experiment(s) to run, comma-separated")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of rendered tables")
 	flag.Parse()
 
+	sel := make(map[string]bool)
+	for _, name := range strings.Split(*exp, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			sel[name] = true
+		}
+	}
+	// Every requested name must exist: a typo in one list entry fails
+	// the run instead of silently dropping that experiment's metrics.
+	known := map[string]bool{"all": true}
+	for _, e := range all {
+		known[e.name] = true
+	}
+	for name := range sel {
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
 	o := experiments.Options{Quick: *quick}
 	type result struct {
 		Seconds float64 `json:"seconds"`
@@ -98,7 +123,7 @@ func main() {
 	results := make(map[string]result)
 	ran := false
 	for _, e := range all {
-		if *exp != "all" && *exp != e.name {
+		if !sel["all"] && !sel[e.name] {
 			continue
 		}
 		ran = true

@@ -138,7 +138,11 @@ func extendReceiver(r *ferret.Receiver) *cot.ReceiverPool {
 	if err != nil {
 		log.Fatal(err)
 	}
-	return cot.NewReceiverPool(out.Bits, out.Blocks)
+	pool, err := cot.NewReceiverPool(out.Bits, out.Blocks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return pool
 }
 
 func nil2(n int) []bool { return make([]bool, n) }

@@ -1,0 +1,220 @@
+// Secure two-party inference of a 2-layer fixed-point MLP — the
+// end-to-end workload the Ironman paper's preprocessing exists to
+// power (§2.2): party A holds the model (W1, b1, W2, b2), party B
+// holds the input vector, and neither learns the other's data. Linear
+// layers run on additive shares via Beaver matrix triples generated
+// from correlated OT (Gilboa), activations cross into the packed GMW
+// engine through A2B, run ReLU Boolean, and return through B2A:
+//
+//	x -> W1·x + b1 -> truncate -> A2B -> ReLU -> B2A -> W2·h + b2 -> reveal
+//
+// Both parties' revealed outputs are cross-checked against the
+// plaintext model within the documented truncation error bound.
+//
+//	go run ./examples/secure-mlp
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"ironman/internal/arith"
+	"ironman/internal/cot"
+	"ironman/internal/ppml"
+	"ironman/internal/transport"
+)
+
+// Network shape: d inputs -> h hidden (ReLU) -> o outputs.
+const (
+	d = 16
+	h = 32
+	o = 10
+)
+
+var fixed = arith.Fixed{Frac: 12}
+
+func main() {
+	// Deterministic pseudo-random model and input, so runs are
+	// reproducible; weights in [-1, 1).
+	seed := uint64(0x9E3779B97F4A7C15)
+	next := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(int64(seed)>>40) / float64(int64(1)<<23)
+	}
+	w1 := vecf(h*d, next)
+	b1 := vecf(h, next)
+	w2 := vecf(o*h, next)
+	b2 := vecf(o, next)
+	x := vecf(d, next)
+
+	// Size the correlation budget from the operator cost models — the
+	// same arithmetic the paper uses to provision preprocessing.
+	layer1 := ppml.ArithMatTripleCost(h, d, 1)
+	layer2 := ppml.ArithMatTripleCost(o, h, 1)
+	a2b := ppml.ArithA2BCost(h, 64)
+	relu := ppml.GMWMuxCost(h, 64)
+	b2a := ppml.ArithB2ACost(h, 64)
+	budget := int(layer1.COTs/2+layer2.COTs/2) + int(a2b.OTs/2+relu.OTs/2) + int(b2a.COTs)
+	fmt.Printf("secure-mlp: %d-%d-%d MLP, fixed point 1/%d\n", d, h, o, int64(1)<<fixed.Frac)
+	fmt.Printf("  modeled budget: %d COTs per direction (%d B triple wire modeled)\n",
+		budget, layer1.WireBytes+layer2.WireBytes)
+
+	// A dealer stands in for two role-switched Ferret endpoint pairs
+	// (run NewSender/NewReceiver across a network for the real
+	// interactive protocol; see DESIGN.md's dealt-pair caveat).
+	connA, connB := transport.Pipe()
+	sAB, rAB, err := cot.RandomPools(budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sBA, rBA, err := cot.RandomPools(budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	type res struct {
+		out   []float64
+		party *arith.Party
+		err   error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		out, p, err := infer(connA, sAB, rBA, true, w1, b1, w2, b2, x)
+		ch <- res{out, p, err}
+	}()
+	outB, _, errB := infer(connB, sBA, rAB, false, w1, b1, w2, b2, x)
+	if errB != nil {
+		log.Fatal(errB)
+	}
+	ra := <-ch
+	if ra.err != nil {
+		log.Fatal(ra.err)
+	}
+	elapsed := time.Since(start)
+
+	// Plaintext reference on the quantized model (the protocol computes
+	// on encodings, so that is the right comparison point); tolerance
+	// is the truncation error bound from DESIGN.md: ±1 ulp per
+	// truncation plus quantized-operand rounding across the fan-in.
+	want := plaintext(w1, b1, w2, b2, x)
+	tol := float64(d+h+4) / float64(int64(1)<<fixed.Frac)
+	worst := 0.0
+	for i := range want {
+		errA := math.Abs(ra.out[i] - want[i])
+		errBv := math.Abs(outB[i] - want[i])
+		worst = math.Max(worst, math.Max(errA, errBv))
+		if errA > tol || errBv > tol {
+			log.Fatalf("output %d outside error bound: %g/%g want %g (tol %g)",
+				i, ra.out[i], outB[i], want[i], tol)
+		}
+	}
+	stats := connA.Stats()
+	fmt.Printf("  output matches plaintext model: max |err| %.2e (bound %.2e)\n", worst, tol)
+	fmt.Printf("  logits: %s\n", fmtVec(ra.out))
+	fmt.Printf("%d triples, %d exchanges, %d B on the wire, %v\n",
+		ra.party.Triples, ra.party.Exchanges, stats.TotalBytes(), elapsed)
+}
+
+// infer runs one party's side of the pipeline. Party A (first=true)
+// privately inputs the model, party B the input vector.
+func infer(conn transport.Conn, out *cot.SenderPool, in *cot.ReceiverPool, modelOwner bool,
+	w1, b1, w2, b2, x []float64) ([]float64, *arith.Party, error) {
+	p, err := arith.NewParty(conn, out, in, modelOwner)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Layer 1: z1 = W1·x + b1, rescaled back to Frac fractional bits.
+	tr1, err := p.NewMatTriple(h, d, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	w1s := p.NewPrivate(fixed.EncodeVec(w1), modelOwner)
+	b1s := p.NewPrivate(fixed.EncodeVec(b1), modelOwner)
+	xs := p.NewPrivate(fixed.EncodeVec(x), !modelOwner)
+	z1, err := p.MatVec(w1s, xs, tr1)
+	if err != nil {
+		return nil, nil, err
+	}
+	z1, err = arith.Add(p.TruncVec(z1, fixed.Frac), b1s)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Nonlinearity: cross into the Boolean engine, ReLU, cross back.
+	planes, err := p.A2B(z1, 64)
+	if err != nil {
+		return nil, nil, err
+	}
+	kept, err := p.Bool.ReLUVec(planes)
+	if err != nil {
+		return nil, nil, err
+	}
+	h1, err := p.B2A(kept)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Layer 2: logits = W2·h1 + b2.
+	tr2, err := p.NewMatTriple(o, h, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	w2s := p.NewPrivate(fixed.EncodeVec(w2), modelOwner)
+	b2s := p.NewPrivate(fixed.EncodeVec(b2), modelOwner)
+	z2, err := p.MatVec(w2s, h1, tr2)
+	if err != nil {
+		return nil, nil, err
+	}
+	z2, err = arith.Add(p.TruncVec(z2, fixed.Frac), b2s)
+	if err != nil {
+		return nil, nil, err
+	}
+	open, err := p.Reveal(z2)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fixed.DecodeVec(open), p, nil
+}
+
+// plaintext evaluates the MLP on the quantized parameters.
+func plaintext(w1, b1, w2, b2, x []float64) []float64 {
+	q := func(v []float64) []float64 { return fixed.DecodeVec(fixed.EncodeVec(v)) }
+	w1q, b1q, w2q, b2q, xq := q(w1), q(b1), q(w2), q(b2), q(x)
+	h1 := make([]float64, h)
+	for i := 0; i < h; i++ {
+		s := b1q[i]
+		for l := 0; l < d; l++ {
+			s += w1q[i*d+l] * xq[l]
+		}
+		h1[i] = math.Max(s, 0)
+	}
+	out := make([]float64, o)
+	for i := 0; i < o; i++ {
+		s := b2q[i]
+		for l := 0; l < h; l++ {
+			s += w2q[i*h+l] * h1[l]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func vecf(n int, next func() float64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = next()
+	}
+	return v
+}
+
+func fmtVec(v []float64) string {
+	s := "["
+	for i, x := range v {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.3f", x)
+	}
+	return s + "]"
+}

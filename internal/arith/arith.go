@@ -1,0 +1,207 @@
+// Package arith is a two-party additive secret-sharing engine over
+// Z_2^64 — the arithmetic half of the compute model the Ironman paper
+// assumes (§2.2): PPML frameworks run linear layers (matrix products)
+// on additive shares whose Beaver multiplication triples are the main
+// consumer of COT-derived preprocessing, and bridge to Boolean (GMW)
+// sharing for the comparisons inside ReLU-style nonlinearities.
+//
+// A value x is shared as x = x_A + x_B (mod 2^64). Addition and
+// scaling by public constants are local; multiplication consumes
+// Beaver triples generated from correlated OT via Gilboa's
+// bit-decomposition product (gilboa.go), so triple preprocessing draws
+// on the same correlation pools — and the same two-directional
+// role-switched OT layout (§5.2) — as the GMW engine. Share
+// conversions A2B/B2A (convert.go) bridge into internal/gmw over the
+// SAME conn and the SAME pools, so one session runs linear algebra
+// arithmetic and nonlinearities Boolean without a second transport.
+//
+// Like the GMW engine, the protocol is positional: both parties must
+// issue calls in matching order with matching shapes, and every
+// batched operation is a constant number of message flights regardless
+// of element count.
+package arith
+
+import (
+	"crypto/rand"
+	"fmt"
+
+	"ironman/internal/aesprg"
+	"ironman/internal/block"
+	"ironman/internal/cot"
+	"ironman/internal/gmw"
+	"ironman/internal/transport"
+)
+
+// Share is an additively-shared vector over Z_2^64: each party holds
+// one of these and the logical vector is the element-wise sum mod 2^64.
+type Share []uint64
+
+// Party is one side of an arithmetic evaluation. Like gmw.Party it
+// holds a COT pool per OT direction; Bool is an embedded GMW party
+// sharing the same conn and the same pools, so Boolean layers (via
+// A2B/B2A) interleave with arithmetic ones on one session.
+type Party struct {
+	conn transport.Conn
+	hash *aesprg.Hash
+	// prg is the local randomness source for triple shares and Gilboa
+	// masks: seeded once from crypto/rand so hot loops never syscall.
+	prg *aesprg.Stream
+	// Out: correlations where this party is the OT sender.
+	Out *cot.SenderPool
+	// In: correlations where this party is the OT receiver.
+	In *cot.ReceiverPool
+	// Bool evaluates Boolean layers on the same conn and pools; use it
+	// with the planes returned by A2B.
+	Bool *gmw.Party
+	// first breaks message-ordering symmetry; exactly one party has it
+	// set (verified by the gmw handshake at construction).
+	first bool
+
+	Triples   int // Beaver triples generated (scalar-product equivalents)
+	Mults     int // Beaver multiplications consumed (scalar-product equivalents)
+	Exchanges int // batched two-flight exchanges (triple gen, opens, B2A)
+}
+
+// NewParty assembles an arithmetic party from one COT pool per OT
+// direction and runs the role handshake over conn (the peer must call
+// it concurrently with the opposite first flag). The embedded Bool
+// party shares conn and both pools: arithmetic word OTs, Boolean bit
+// OTs and block OTs all consume the same correlations in lockstep.
+func NewParty(conn transport.Conn, out *cot.SenderPool, in *cot.ReceiverPool, first bool) (*Party, error) {
+	g, err := gmw.NewParty(conn, out, in, first)
+	if err != nil {
+		return nil, err
+	}
+	var seed [block.Size]byte
+	if _, err := rand.Read(seed[:]); err != nil {
+		return nil, err
+	}
+	return &Party{
+		conn:  conn,
+		hash:  aesprg.NewHash(),
+		prg:   aesprg.NewStream(block.FromBytes(seed[:])),
+		Out:   out,
+		In:    in,
+		Bool:  g,
+		first: first,
+	}, nil
+}
+
+// NewPrivate builds a share of this party's private input: this party
+// holds the values, the peer's share is zero. Both parties must call
+// it in matching order, with mine telling whose input it is.
+func (p *Party) NewPrivate(vals []uint64, mine bool) Share {
+	s := make(Share, len(vals))
+	if mine {
+		copy(s, vals)
+	}
+	return s
+}
+
+// NewPublic builds a share of a public constant: the first party holds
+// the value, the other zero.
+func (p *Party) NewPublic(vals []uint64) Share {
+	s := make(Share, len(vals))
+	if p.first {
+		copy(s, vals)
+	}
+	return s
+}
+
+// randomVec draws a fresh local random vector from the party's PRG.
+func (p *Party) randomVec(n int) []uint64 {
+	v := make([]uint64, n)
+	for i := range v {
+		v[i] = p.prg.Uint64()
+	}
+	return v
+}
+
+// Add is a free local gate: out = a + b element-wise.
+func Add(a, b Share) (Share, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("arith: Add length mismatch: %d vs %d", len(a), len(b))
+	}
+	out := make(Share, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out, nil
+}
+
+// Sub is a free local gate: out = a - b element-wise.
+func Sub(a, b Share) (Share, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("arith: Sub length mismatch: %d vs %d", len(a), len(b))
+	}
+	out := make(Share, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out, nil
+}
+
+// AddPublic adds a public vector: only the first party shifts its
+// share (the sum of a public constant is free).
+func (p *Party) AddPublic(a Share, c []uint64) (Share, error) {
+	if len(a) != len(c) {
+		return nil, fmt.Errorf("arith: AddPublic length mismatch: %d vs %d", len(a), len(c))
+	}
+	out := make(Share, len(a))
+	copy(out, a)
+	if p.first {
+		for i := range out {
+			out[i] += c[i]
+		}
+	}
+	return out, nil
+}
+
+// MulPublic scales by a public constant: both parties scale locally.
+func MulPublic(a Share, c uint64) Share {
+	out := make(Share, len(a))
+	for i := range a {
+		out[i] = a[i] * c
+	}
+	return out
+}
+
+// openWords exchanges share vectors (one flight per direction, ordered
+// by the first flag) and returns the element-wise sums — the plaintext.
+func (p *Party) openWords(mine []uint64) ([]uint64, error) {
+	var peer []uint64
+	if p.first {
+		if err := transport.SendWords(p.conn, mine); err != nil {
+			return nil, err
+		}
+		got, err := transport.RecvWords(p.conn, len(mine))
+		if err != nil {
+			return nil, err
+		}
+		peer = got
+	} else {
+		got, err := transport.RecvWords(p.conn, len(mine))
+		if err != nil {
+			return nil, err
+		}
+		if err := transport.SendWords(p.conn, mine); err != nil {
+			return nil, err
+		}
+		peer = got
+	}
+	out := make([]uint64, len(mine))
+	for i := range out {
+		out[i] = mine[i] + peer[i]
+	}
+	return out, nil
+}
+
+// Reveal opens a share to both parties in one exchange.
+func (p *Party) Reveal(a Share) ([]uint64, error) {
+	out, err := p.openWords(a)
+	if err != nil {
+		return nil, err
+	}
+	p.Exchanges++
+	return out, nil
+}

@@ -49,12 +49,14 @@ func NewSenderPool(delta block.Block, r0 []block.Block) *SenderPool {
 	return &SenderPool{Delta: delta, r0: r0}
 }
 
-// NewReceiverPool wraps correlations (choice bits and r_b values).
-func NewReceiverPool(bits []bool, blocks []block.Block) *ReceiverPool {
+// NewReceiverPool wraps correlations (choice bits and r_b values). A
+// bits/blocks length mismatch is reported as an error, matching the
+// error discipline of the pool-exhaustion paths.
+func NewReceiverPool(bits []bool, blocks []block.Block) (*ReceiverPool, error) {
 	if len(bits) != len(blocks) {
-		panic("cot: bits/blocks length mismatch")
+		return nil, fmt.Errorf("cot: bits/blocks length mismatch: %d bits, %d blocks", len(bits), len(blocks))
 	}
-	return &ReceiverPool{bits: bits, blocks: blocks}
+	return &ReceiverPool{bits: bits, blocks: blocks}, nil
 }
 
 // Remaining reports how many unconsumed correlations are left.
@@ -264,6 +266,177 @@ func ReceiveChosenBits(conn transport.Conn, pool *ReceiverPool, h *aesprg.Hash, 
 	return out, nil
 }
 
+// bitWriter tightly packs variable-width bit fields, LSB-first — the
+// wire layout of the word-payload chosen-OT ciphertext frame, where
+// instance i contributes exactly widths[i] bits per ciphertext.
+type bitWriter struct {
+	buf  []byte
+	nbit int
+}
+
+func (w *bitWriter) write(v uint64, width int) {
+	for width > 0 {
+		if w.nbit%8 == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		off := uint(w.nbit % 8)
+		take := 8 - int(off)
+		if take > width {
+			take = width
+		}
+		w.buf[len(w.buf)-1] |= byte(v&(1<<uint(take)-1)) << off
+		v >>= uint(take)
+		width -= take
+		w.nbit += take
+	}
+}
+
+// bitReader is the inverse of bitWriter.
+type bitReader struct {
+	buf  []byte
+	nbit int
+}
+
+func (r *bitReader) read(width int) (uint64, error) {
+	var v uint64
+	shift := uint(0)
+	for width > 0 {
+		if r.nbit/8 >= len(r.buf) {
+			return 0, fmt.Errorf("cot: word-OT frame truncated at bit %d", r.nbit)
+		}
+		off := uint(r.nbit % 8)
+		take := 8 - int(off)
+		if take > width {
+			take = width
+		}
+		v |= uint64(r.buf[r.nbit/8]>>off&(1<<uint(take)-1)) << shift
+		shift += uint(take)
+		width -= take
+		r.nbit += take
+	}
+	return v, nil
+}
+
+// wordMask returns the low-w-bit mask (w in [0, 64]).
+func wordMask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(w) - 1
+}
+
+// wordFrameBytes is the ciphertext frame size of n word OTs: 2·widths[i]
+// bits per instance, rounded up to whole bytes once.
+func wordFrameBytes(widths []int) int {
+	total := 0
+	for _, w := range widths {
+		total += 2 * w
+	}
+	return (total + 7) / 8
+}
+
+// SendChosenWords runs the sender side of len(widths) chosen-message
+// 1-of-2 OTs whose messages are uint64 words taken mod 2^widths[i],
+// consuming one COT each. The reply frame packs each ciphertext to
+// exactly widths[i] bits, so callers whose high message bits are
+// irrelevant (Gilboa multiplication: bit i of the multiplier only
+// needs the product mod 2^(64-i)) pay only for the bits that matter —
+// at widths 64..1 that is 2x less payload than fixed 64-bit words and
+// 3.9x less than riding SendChosen's two 128-bit blocks.
+//
+// Wire format: the receiver sends packed correction bits d_i = c_i ⊕
+// b_i (⌈n/8⌉ bytes); the sender replies with one tightly bit-packed
+// frame of pairs (ct0_i, ct1_i), widths[i] bits each, where
+//
+//	ct0_i = (m0_i ⊕ lo64(H(r_{d_i})))   mod 2^widths[i]
+//	ct1_i = (m1_i ⊕ lo64(H(r_{1-d_i}))) mod 2^widths[i]
+//
+// and H is tweaked by the pool offset exactly as in SendChosen. A
+// width of 0 is legal: the instance consumes its COT (keeping both
+// pools in lockstep) but ships no ciphertext bits.
+func SendChosenWords(conn transport.Conn, pool *SenderPool, h *aesprg.Hash, m0, m1 []uint64, widths []int) error {
+	n := len(widths)
+	if len(m0) != n || len(m1) != n {
+		return fmt.Errorf("cot: SendChosenWords needs %d messages per side, got %d/%d", n, len(m0), len(m1))
+	}
+	off, r0, err := pool.take(n)
+	if err != nil {
+		return err
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		return err
+	}
+	ds, err := transport.WireToPacked(msg, n)
+	if err != nil {
+		return err
+	}
+	w := bitWriter{buf: make([]byte, 0, wordFrameBytes(widths))}
+	for i := 0; i < n; i++ {
+		rd := r0[i]
+		rnd := r0[i].Xor(pool.Delta)
+		if bit(ds, i) == 1 {
+			rd, rnd = rnd, rd
+		}
+		tweak := uint64(off + i)
+		mask := wordMask(widths[i])
+		w.write((m0[i]^h.Sum(rd, tweak).Lo)&mask, widths[i])
+		w.write((m1[i]^h.Sum(rnd, tweak).Lo)&mask, widths[i])
+	}
+	return conn.Send(w.buf)
+}
+
+// ReceiveChosenWords runs the receiver side of SendChosenWords:
+// choices is a limb-packed choice-bit vector (bit i selects instance
+// i's message) and the result is the selected words, each reduced mod
+// 2^widths[i].
+func ReceiveChosenWords(conn transport.Conn, pool *ReceiverPool, h *aesprg.Hash, choices []uint64, widths []int) ([]uint64, error) {
+	n := len(widths)
+	if limbs := transport.PackedLimbs(n); len(choices) < limbs {
+		return nil, fmt.Errorf("cot: ReceiveChosenWords needs %d limbs for %d choices, got %d", limbs, n, len(choices))
+	}
+	off, bits, rb, err := pool.take(n)
+	if err != nil {
+		return nil, err
+	}
+	ds := make([]uint64, transport.PackedLimbs(n))
+	for i := 0; i < n; i++ {
+		b := uint64(0)
+		if bits[i] {
+			b = 1
+		}
+		setBit(ds, i, bit(choices, i)^b)
+	}
+	if err := conn.Send(transport.PackedToWire(ds, n)); err != nil {
+		return nil, err
+	}
+	frame, err := conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if len(frame) != wordFrameBytes(widths) {
+		return nil, fmt.Errorf("cot: expected %d-byte word-OT frame, got %d bytes", wordFrameBytes(widths), len(frame))
+	}
+	r := bitReader{buf: frame}
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		ct0, err := r.read(widths[i])
+		if err != nil {
+			return nil, err
+		}
+		ct1, err := r.read(widths[i])
+		if err != nil {
+			return nil, err
+		}
+		ct := ct0
+		if bit(choices, i) == 1 {
+			ct = ct1
+		}
+		out[i] = (ct ^ h.Sum(rb[i], uint64(off+i)).Lo) & wordMask(widths[i])
+	}
+	return out, nil
+}
+
 // abOnePRG is the fixed PRG used inside the all-but-one GGM gadget.
 // A binary AES PRG keeps the gadget independent of the caller's choice
 // of tree PRG (it is a different, tiny tree).
@@ -374,5 +547,9 @@ func RandomPoolsWithDelta(delta block.Block, n int) (*SenderPool, *ReceiverPool,
 			rb[i] = rb[i].Xor(delta)
 		}
 	}
-	return NewSenderPool(delta, r0), NewReceiverPool(bits, rb), nil
+	rp, err := NewReceiverPool(bits, rb)
+	if err != nil {
+		return nil, nil, err
+	}
+	return NewSenderPool(delta, r0), rp, nil
 }

@@ -314,3 +314,106 @@ func BenchmarkChosenOT(b *testing.B) {
 		}
 	}
 }
+
+func TestNewReceiverPoolMismatch(t *testing.T) {
+	if _, err := NewReceiverPool(make([]bool, 3), make([]block.Block, 2)); err == nil {
+		t.Fatal("NewReceiverPool must reject a bits/blocks length mismatch")
+	}
+}
+
+func TestChosenWordOT(t *testing.T) {
+	const n = 130 // not a multiple of 64: exercises partial limbs
+	sp, rp := pools(t, n)
+	h := aesprg.NewHash()
+	rng := rand.New(rand.NewSource(7))
+	m0 := make([]uint64, n)
+	m1 := make([]uint64, n)
+	widths := make([]int, n)
+	choices := make([]uint64, transport.PackedLimbs(n))
+	for i := 0; i < n; i++ {
+		m0[i] = rng.Uint64()
+		m1[i] = rng.Uint64()
+		widths[i] = i % 65 // 0..64, including the no-payload degenerate case
+		if rng.Intn(2) == 1 {
+			choices[i/64] |= 1 << uint(i%64)
+		}
+	}
+	a, b := transport.Pipe()
+	errCh := make(chan error, 1)
+	go func() { errCh <- SendChosenWords(a, sp, h, m0, m1, widths) }()
+	got, err := ReceiveChosenWords(b, rp, h, choices, widths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := m0[i]
+		if choices[i/64]>>uint(i%64)&1 == 1 {
+			want = m1[i]
+		}
+		want &= wordMask(widths[i])
+		if got[i] != want {
+			t.Fatalf("word OT wrong at %d (width %d): got %x want %x", i, widths[i], got[i], want)
+		}
+	}
+	if sp.Remaining() != 0 || rp.Remaining() != 0 {
+		t.Fatal("word OT must consume one COT per instance, width 0 included")
+	}
+}
+
+func TestChosenWordOTInterleavesWithBlocksAndBits(t *testing.T) {
+	// One pool pair serves a block-payload batch, a word-payload batch,
+	// and a bit-payload batch back to back: the shared tweak sequence
+	// must keep every payload flavour decryptable.
+	sp, rp := pools(t, 3*8)
+	h := aesprg.NewHash()
+	a, b := transport.Pipe()
+	errCh := make(chan error, 1)
+	go func() {
+		msgs := make([][2]block.Block, 8)
+		for i := range msgs {
+			msgs[i][0] = block.New(uint64(i), 0)
+			msgs[i][1] = block.New(uint64(i)*3+1, 0)
+		}
+		if err := SendChosen(a, sp, h, msgs); err != nil {
+			errCh <- err
+			return
+		}
+		m0 := []uint64{10, 20, 30, 40, 50, 60, 70, 80}
+		m1 := []uint64{11, 21, 31, 41, 51, 61, 71, 81}
+		widths := []int{7, 7, 7, 7, 7, 7, 7, 7}
+		if err := SendChosenWords(a, sp, h, m0, m1, widths); err != nil {
+			errCh <- err
+			return
+		}
+		errCh <- SendChosenBits(a, sp, h, []uint64{0x0f}, []uint64{0xf0}, 8)
+	}()
+	blocks, err := ReceiveChosen(b, rp, h, make([]bool, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	words, err := ReceiveChosenWords(b, rp, h, []uint64{0xff}, []int{7, 7, 7, 7, 7, 7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits, err := ReceiveChosenBits(b, rp, h, []uint64{0x00}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if blocks[i] != block.New(uint64(i), 0) {
+			t.Fatalf("block batch wrong at %d", i)
+		}
+		if words[i] != uint64(i)*10+11 {
+			t.Fatalf("word batch wrong at %d: got %d", i, words[i])
+		}
+	}
+	if bits[0] != 0x0f {
+		t.Fatalf("bit batch wrong: got %x", bits[0])
+	}
+}

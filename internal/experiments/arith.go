@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ironman/internal/arith"
+	"ironman/internal/cot"
+	"ironman/internal/ppml"
+	"ironman/internal/transport"
+)
+
+// ArithResult is the arithmetic-layer engine datapoint: COT-backed
+// Beaver-triple generation throughput (the preprocessing PPML linear
+// layers burn most of their OT budget on) and a fixed-point secure
+// matmul cross-checked against plaintext, run with the real engine
+// over an in-process pipe.
+type ArithResult struct {
+	Triples             int     `json:"triples"`
+	TripleSeconds       float64 `json:"triple_seconds"`
+	TriplesPerSec       float64 `json:"triples_per_sec"`
+	TripleWireBytes     int64   `json:"triple_wire_bytes"`
+	BytesPerTriple      float64 `json:"bytes_per_triple"`
+	ModelBytesPerTriple float64 `json:"model_bytes_per_triple"`
+	COTsPerTriple       float64 `json:"cots_per_triple"`
+
+	MatM          int     `json:"mat_m"`
+	MatK          int     `json:"mat_k"`
+	MatN          int     `json:"mat_n"`
+	MatMulSeconds float64 `json:"matmul_seconds"`
+	MatMulGFLOPs  float64 `json:"matmul_gflops"` // GFLOP-equivalent incl. triple gen
+	MaxAbsErr     float64 `json:"max_abs_err"`   // vs plaintext fixed-point reference
+
+	Exchanges int `json:"exchanges"`
+}
+
+// arithParties deals COT pools in both directions and assembles two
+// arith parties over a fresh pipe.
+func arithParties(budget int) (*arith.Party, *arith.Party, transport.Conn) {
+	connA, connB := transport.Pipe()
+	sAB, rAB, err := cot.RandomPools(budget)
+	if err != nil {
+		panic(err)
+	}
+	sBA, rBA, err := cot.RandomPools(budget)
+	if err != nil {
+		panic(err)
+	}
+	type res struct {
+		p   *arith.Party
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		p, err := arith.NewParty(connA, sAB, rBA, true)
+		ch <- res{p, err}
+	}()
+	b, err := arith.NewParty(connB, sBA, rAB, false)
+	if err != nil {
+		panic(err)
+	}
+	ra := <-ch
+	if ra.err != nil {
+		panic(ra.err)
+	}
+	return ra.p, b, connA
+}
+
+// ArithBench measures Beaver-triple generation (Gilboa over word OTs)
+// and a fixed-point secure matrix product. Quick runs 1024 triples and
+// a 8x32 · 32x8 matmul; the full run 4096 triples and 16x64 · 64x16.
+func ArithBench(o Options) ArithResult {
+	nt := 4096
+	m, k, n := 16, 64, 16
+	if o.Quick {
+		nt = 1024
+		m, k, n = 8, 32, 8
+	}
+	budget := 64 * (nt + m*k*n)
+
+	a, b, connA := arithParties(budget)
+	r := ArithResult{Triples: nt, MatM: m, MatK: k, MatN: n}
+
+	// Phase 1: raw triple throughput, spot-checked by opening a few.
+	base := connA.Stats()
+	start := time.Now()
+	done := make(chan error, 1)
+	var trA *arith.Triples
+	go func() {
+		tr, err := a.NewTriples(nt)
+		trA = tr
+		done <- err
+	}()
+	trB, err := b.NewTriples(nt)
+	if err != nil {
+		panic(err)
+	}
+	if err := <-done; err != nil {
+		panic(err)
+	}
+	r.TripleSeconds = time.Since(start).Seconds()
+	stats := connA.Stats()
+	r.TripleWireBytes = stats.TotalBytes() - base.TotalBytes()
+	r.TriplesPerSec = float64(nt) / r.TripleSeconds
+	r.BytesPerTriple = float64(r.TripleWireBytes) / float64(nt)
+	r.ModelBytesPerTriple = ppml.ArithTripleCost(int64(nt)).BytesPerTriple()
+	r.COTsPerTriple = float64(ppml.ArithTripleCost(1).COTs)
+	checkTriples(a, b, trA, trB, 8)
+
+	// Phase 2: fixed-point matmul (triple gen + Beaver online +
+	// truncation), cross-checked against the plaintext product.
+	f := arith.Fixed{Frac: 16}
+	xs := make([]float64, m*k)
+	ys := make([]float64, k*n)
+	seed := uint64(0x2545F4914F6CDD1D)
+	for i := range xs {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		xs[i] = float64(int64(seed)>>40) / float64(int64(1)<<23)
+	}
+	for i := range ys {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		ys[i] = float64(int64(seed)>>40) / float64(int64(1)<<23)
+	}
+	start = time.Now()
+	type mres struct {
+		vals []float64
+		err  error
+	}
+	mch := make(chan mres, 1)
+	eval := func(p *arith.Party, mineX bool) mres {
+		tr, err := p.NewMatTriple(m, k, n)
+		if err != nil {
+			return mres{err: err}
+		}
+		x := p.NewPrivate(f.EncodeVec(xs), mineX)
+		y := p.NewPrivate(f.EncodeVec(ys), !mineX)
+		z, err := p.MatMul(x, y, tr)
+		if err != nil {
+			return mres{err: err}
+		}
+		z = p.TruncVec(z, f.Frac)
+		open, err := p.Reveal(z)
+		if err != nil {
+			return mres{err: err}
+		}
+		return mres{vals: f.DecodeVec(open)}
+	}
+	go func() { mch <- eval(a, true) }()
+	rb := eval(b, false)
+	if rb.err != nil {
+		panic(rb.err)
+	}
+	ra := <-mch
+	if ra.err != nil {
+		panic(ra.err)
+	}
+	r.MatMulSeconds = time.Since(start).Seconds()
+	r.MatMulGFLOPs = 2 * float64(m) * float64(k) * float64(n) / r.MatMulSeconds / 1e9
+
+	// Plaintext reference on the quantized inputs.
+	qx, qy := f.DecodeVec(f.EncodeVec(xs)), f.DecodeVec(f.EncodeVec(ys))
+	tol := 4.0 / float64(int64(1)<<f.Frac)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			for l := 0; l < k; l++ {
+				want += qx[i*k+l] * qy[l*n+j]
+			}
+			got := ra.vals[i*n+j]
+			if err := math.Abs(got - want); err > r.MaxAbsErr {
+				r.MaxAbsErr = err
+			}
+			if math.Abs(got-want) > tol {
+				panic(fmt.Sprintf("experiments: arith matmul wrong at (%d,%d): %g want %g", i, j, got, want))
+			}
+		}
+	}
+	r.Exchanges = a.Exchanges
+	return r
+}
+
+// checkTriples opens the first cnt triples on both sides and asserts
+// c = a·b — a correctness spot check, run outside the timed window.
+func checkTriples(a, b *arith.Party, trA, trB *arith.Triples, cnt int) {
+	open := func(p *arith.Party, tr *arith.Triples) ([]uint64, []uint64, []uint64, error) {
+		av, err := p.Reveal(tr.A[:cnt])
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		bv, err := p.Reveal(tr.B[:cnt])
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		cv, err := p.Reveal(tr.C[:cnt])
+		return av, bv, cv, err
+	}
+	type res struct {
+		a, b, c []uint64
+		err     error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		av, bv, cv, err := open(a, trA)
+		ch <- res{av, bv, cv, err}
+	}()
+	if _, _, _, err := open(b, trB); err != nil {
+		panic(err)
+	}
+	ra := <-ch
+	if ra.err != nil {
+		panic(ra.err)
+	}
+	for i := 0; i < cnt; i++ {
+		if ra.c[i] != ra.a[i]*ra.b[i] {
+			panic(fmt.Sprintf("experiments: Beaver triple %d broken: %x·%x != %x", i, ra.a[i], ra.b[i], ra.c[i]))
+		}
+	}
+}
+
+// RenderArith prints the arithmetic-layer datapoint.
+func RenderArith(r ArithResult) string {
+	return fmt.Sprintf(`Arith engine: COT-backed Beaver triples + fixed-point matmul
+  %d triples in %.1f ms: %.0f triples/s, %.0f COTs/triple
+  online wire: %.1f B/triple measured (model %.1f B/triple)
+  %dx%d · %dx%d fixed-point matmul: %.1f ms, %.3f GFLOP-equiv/s, max |err| %.2e
+`,
+		r.Triples, r.TripleSeconds*1e3, r.TriplesPerSec, r.COTsPerTriple,
+		r.BytesPerTriple, r.ModelBytesPerTriple,
+		r.MatM, r.MatK, r.MatK, r.MatN, r.MatMulSeconds*1e3, r.MatMulGFLOPs, r.MaxAbsErr)
+}

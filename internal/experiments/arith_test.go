@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestArithBench pins the arithmetic layer's acceptance numbers: 128
+// COTs per Beaver triple, measured wire within a framing margin of the
+// operator model, and a plaintext-matching fixed-point matmul.
+func TestArithBench(t *testing.T) {
+	r := ArithBench(Options{Quick: true})
+	if r.Triples < 1024 {
+		t.Fatalf("unexpected triple count %d", r.Triples)
+	}
+	if r.COTsPerTriple != 128 {
+		t.Fatalf("COTs/triple %v, want 128 (64 per direction)", r.COTsPerTriple)
+	}
+	// The model excludes transport framing; measured must sit within a
+	// few percent above it.
+	if r.BytesPerTriple < r.ModelBytesPerTriple ||
+		r.BytesPerTriple > 1.05*r.ModelBytesPerTriple {
+		t.Fatalf("bytes/triple %.1f vs model %.1f: outside the framing margin",
+			r.BytesPerTriple, r.ModelBytesPerTriple)
+	}
+	if r.TriplesPerSec <= 0 || r.MatMulGFLOPs <= 0 {
+		t.Fatal("throughput metrics must be positive")
+	}
+	// Truncation keeps the matmul within the documented error bound.
+	if tol := 4.0 / math.Exp2(16); r.MaxAbsErr > tol {
+		t.Fatalf("matmul max error %g above bound %g", r.MaxAbsErr, tol)
+	}
+	if RenderArith(r) == "" {
+		t.Fatal("render empty")
+	}
+}

@@ -128,13 +128,17 @@ func NewReceiver(conn transport.Conn, params Params, opts Options) (*Receiver, e
 	if err != nil {
 		return nil, fmt.Errorf("ferret init extend: %w", err)
 	}
+	pool, err := cot.NewReceiverPool(choices, rb)
+	if err != nil {
+		return nil, err
+	}
 	return &Receiver{
 		conn:   conn,
 		params: params,
 		prg:    opts.PRG,
 		hash:   aesprg.NewHash(),
 		code:   lpn.New(opts.CodeSeed, params.N, params.K, params.D),
-		pool:   cot.NewReceiverPool(choices, rb),
+		pool:   pool,
 	}, nil
 }
 
@@ -197,7 +201,11 @@ func (r *Receiver) Extend() (*ReceiverOutput, error) {
 	r.code.EncodeBits(x, e, alphas)
 
 	usable := r.params.Usable()
-	r.pool = cot.NewReceiverPool(x[usable:], y[usable:])
+	pool, err := cot.NewReceiverPool(x[usable:], y[usable:])
+	if err != nil {
+		return nil, err
+	}
+	r.pool = pool
 	r.Iterations++
 	return &ReceiverOutput{Bits: x[:usable], Blocks: y[:usable]}, nil
 }

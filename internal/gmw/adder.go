@@ -1,0 +1,114 @@
+package gmw
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// AddVec adds two bit-plane vectors element-wise modulo 2^w (w =
+// len(x) planes), returning the sum in the same layout. This is the
+// Boolean adder the A2B share conversion rides: each party enters its
+// arithmetic share as a private bit-plane vector and the adder
+// recombines them into XOR shares of the sum, final carry discarded.
+//
+// The carry network is Kogge–Stone over (generate, propagate) pairs:
+// one batched AND layer computes g_i = x_i ∧ y_i (p_i = x_i ⊕ y_i is
+// free), then ceil(log2 w) doubling rounds merge spans
+//
+//	g_i' = g_i ⊕ (p_i ∧ g_{i-d})    p_i' = p_i ∧ p_{i-d}    (i >= d)
+//
+// and the sum planes are s_0 = p_0, s_i = p_i ⊕ g_{i-1}. Every round
+// is ONE two-flight OT exchange regardless of n and w; the total cost
+// is at most w + 2·sum_d(w-d) AND gates per element (~w·(1+2·log2 w))
+// in AdderExchanges(w) exchanges. The last round skips the dead p'
+// products, and a width-1 add is entirely XOR (the single carry is
+// discarded).
+func (p *Party) AddVec(x, y []PackedShare) ([]PackedShare, error) {
+	if len(x) != len(y) || len(x) == 0 {
+		return nil, fmt.Errorf("gmw: AddVec needs matching nonzero widths, got %d vs %d", len(x), len(y))
+	}
+	n := x[0].n
+	for i := range x {
+		if x[i].n != n || y[i].n != n {
+			return nil, fmt.Errorf("gmw: AddVec plane %d length mismatch", i)
+		}
+	}
+	w := len(x)
+	// Propagate planes (free); kept immutable for the final sum.
+	prop := make([]PackedShare, w)
+	for i := range prop {
+		prop[i] = xorPacked(x[i], y[i])
+	}
+	if w == 1 {
+		return []PackedShare{prop[0]}, nil
+	}
+	// Generate layer: g_i = x_i ∧ y_i, one batched exchange.
+	pairs := make([][2]PackedShare, w)
+	for i := range pairs {
+		pairs[i] = [2]PackedShare{x[i], y[i]}
+	}
+	g, err := p.AndPackedMany(pairs)
+	if err != nil {
+		return nil, err
+	}
+	// pp is the working propagate chain consumed by the prefix rounds.
+	pp := make([]PackedShare, w)
+	copy(pp, prop)
+	for d := 1; d < w; d <<= 1 {
+		last := d<<1 >= w
+		pairs = pairs[:0]
+		for i := d; i < w; i++ {
+			pairs = append(pairs, [2]PackedShare{pp[i], g[i-d]})
+			if !last {
+				pairs = append(pairs, [2]PackedShare{pp[i], pp[i-d]})
+			}
+		}
+		res, err := p.AndPackedMany(pairs)
+		if err != nil {
+			return nil, err
+		}
+		k := 0
+		for i := d; i < w; i++ {
+			g[i] = xorPacked(g[i], res[k])
+			k++
+			if !last {
+				pp[i] = res[k]
+				k++
+			}
+		}
+	}
+	// Sum: s_0 = p_0, s_i = p_i ⊕ carry_in_i where carry_in_i = g_{i-1}.
+	out := make([]PackedShare, w)
+	out[0] = prop[0]
+	for i := 1; i < w; i++ {
+		out[i] = xorPacked(prop[i], g[i-1])
+	}
+	return out, nil
+}
+
+// AdderExchanges returns the batched OT exchanges a width-w AddVec
+// costs: one generate layer plus the Kogge–Stone doubling rounds.
+func AdderExchanges(width int) int {
+	if width <= 1 {
+		return 0
+	}
+	return 1 + bits.Len(uint(width-1))
+}
+
+// AdderANDGates returns the AND gates a width-w AddVec consumes per
+// element: w generates plus the per-round merge products (the final
+// round skips its dead propagate updates).
+func AdderANDGates(width int) int {
+	if width <= 1 {
+		return 0
+	}
+	gates := width
+	for d := 1; d < width; d <<= 1 {
+		if d<<1 >= width {
+			gates += width - d
+		} else {
+			gates += 2 * (width - d)
+		}
+	}
+	return gates
+}

@@ -1,0 +1,60 @@
+package gmw
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAddVec(t *testing.T) {
+	for _, tc := range []struct{ n, width int }{
+		{1, 1}, {5, 3}, {64, 16}, {100, 64}, {3, 64},
+	} {
+		rng := rand.New(rand.NewSource(int64(tc.n*100 + tc.width)))
+		xs := make([]uint64, tc.n)
+		ys := make([]uint64, tc.n)
+		mask := uint64(1)<<uint(tc.width) - 1
+		if tc.width == 64 {
+			mask = ^uint64(0)
+		}
+		for i := range xs {
+			xs[i] = rng.Uint64() & mask
+			ys[i] = rng.Uint64() & mask
+		}
+		budget := AdderANDGates(tc.width)*tc.n + 8
+		a, b := parties(t, budget)
+		eval := func(p *Party, mineX bool) ([]uint64, error) {
+			x := p.NewPrivateVec(xs, tc.width, mineX)
+			y := p.NewPrivateVec(ys, tc.width, !mineX)
+			sum, err := p.AddVec(x, y)
+			if err != nil {
+				return nil, err
+			}
+			return p.RevealVec(sum)
+		}
+		var openA, openB []uint64
+		run2(t, func() error {
+			open, err := eval(a, true)
+			openA = open
+			return err
+		}, func() error {
+			open, err := eval(b, false)
+			openB = open
+			return err
+		})
+		for i := range xs {
+			want := (xs[i] + ys[i]) & mask
+			if openA[i] != want || openB[i] != want {
+				t.Fatalf("AddVec n=%d w=%d wrong at %d: %x/%x want %x",
+					tc.n, tc.width, i, openA[i], openB[i], want)
+			}
+		}
+		if tc.width > 1 && a.Exchanges != AdderExchanges(tc.width) {
+			t.Fatalf("AddVec w=%d used %d exchanges, want %d",
+				tc.width, a.Exchanges, AdderExchanges(tc.width))
+		}
+		if tc.width > 1 && a.ANDGates != AdderANDGates(tc.width)*tc.n {
+			t.Fatalf("AddVec w=%d consumed %d AND gates, want %d",
+				tc.width, a.ANDGates, AdderANDGates(tc.width)*tc.n)
+		}
+	}
+}

@@ -177,11 +177,17 @@ func zeroPlanes(n, width int) []PackedShare {
 	return planes
 }
 
-// Xor is a free local gate.
-func Xor(a, b Share) Share {
+// Xor is a free local gate. A length mismatch is reported as an
+// error, matching the error discipline of the pool-exhaustion paths.
+func Xor(a, b Share) (Share, error) {
 	if len(a) != len(b) {
-		panic("gmw: Xor length mismatch")
+		return nil, fmt.Errorf("gmw: Xor length mismatch: %d vs %d", len(a), len(b))
 	}
+	return xorShares(a, b), nil
+}
+
+// xorShares is Xor for call sites with already-validated lengths.
+func xorShares(a, b Share) Share {
 	out := make(Share, len(a))
 	for i := range a {
 		out[i] = a[i] != b[i]
@@ -408,7 +414,7 @@ func (p *Party) Reveal(a Share) ([]bool, error) {
 		if err != nil {
 			return nil, err
 		}
-		return Xor(a, peer), nil
+		return xorShares(a, peer), nil
 	}
 	peer, err := transport.RecvBits(p.conn, len(a))
 	if err != nil {
@@ -417,7 +423,7 @@ func (p *Party) Reveal(a Share) ([]bool, error) {
 	if err := transport.SendBits(p.conn, a); err != nil {
 		return nil, err
 	}
-	return Xor(a, peer), nil
+	return xorShares(a, peer), nil
 }
 
 // revealRaw opens a packed share, returning the plaintext still packed.
@@ -541,7 +547,7 @@ func (p *Party) GreaterThanVec(x, y []PackedShare) (PackedShare, error) {
 	}
 	e := make([]PackedShare, w)
 	for i := range e {
-		e[i] = p.NotPacked(XorPacked(x[i], y[i]))
+		e[i] = p.NotPacked(xorPacked(x[i], y[i]))
 	}
 	for len(g) > 1 {
 		m := len(g) / 2
@@ -557,7 +563,7 @@ func (p *Party) GreaterThanVec(x, y []PackedShare) (PackedShare, error) {
 		ng := make([]PackedShare, 0, m+1)
 		ne := make([]PackedShare, 0, m+1)
 		for k := 0; k < m; k++ {
-			ng = append(ng, XorPacked(g[2*k+1], res[2*k]))
+			ng = append(ng, xorPacked(g[2*k+1], res[2*k]))
 			ne = append(ne, res[2*k+1])
 		}
 		if len(g)%2 == 1 {
@@ -587,7 +593,7 @@ func (p *Party) Mux(c Share, a, b Share) (Share, error) {
 	if len(c) != 1 || len(a) != len(b) {
 		return nil, fmt.Errorf("gmw: Mux shape mismatch")
 	}
-	d := Xor(a, b)
+	d := xorShares(a, b)
 	cs := make(Share, len(a))
 	for i := range cs {
 		cs[i] = c[0]
@@ -596,7 +602,7 @@ func (p *Party) Mux(c Share, a, b Share) (Share, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Xor(b, t), nil
+	return xorShares(b, t), nil
 }
 
 // MuxVec selects element-wise between two bit-plane vectors by an
@@ -612,7 +618,7 @@ func (p *Party) MuxVec(c PackedShare, a, b []PackedShare) ([]PackedShare, error)
 		if a[i].n != c.n || b[i].n != c.n {
 			return nil, fmt.Errorf("gmw: MuxVec plane %d length mismatch", i)
 		}
-		pairs[i] = [2]PackedShare{c, XorPacked(a[i], b[i])}
+		pairs[i] = [2]PackedShare{c, xorPacked(a[i], b[i])}
 	}
 	t, err := p.AndPackedMany(pairs)
 	if err != nil {
@@ -620,7 +626,7 @@ func (p *Party) MuxVec(c PackedShare, a, b []PackedShare) ([]PackedShare, error)
 	}
 	out := make([]PackedShare, len(a))
 	for i := range out {
-		out[i] = XorPacked(b[i], t[i])
+		out[i] = xorPacked(b[i], t[i])
 	}
 	return out, nil
 }

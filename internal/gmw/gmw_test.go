@@ -125,7 +125,10 @@ func TestXorNotLocal(t *testing.T) {
 	a, _ := parties(t, 1)
 	x := Share{true, false, true}
 	y := Share{true, true, false}
-	z := Xor(x, y)
+	z, err := Xor(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if z[0] || !z[1] || !z[2] {
 		t.Fatal("Xor wrong")
 	}
@@ -284,10 +287,13 @@ func TestShapeMismatchErrors(t *testing.T) {
 	if _, err := a.MuxVec(NewPacked(4), zeroPlanes(4, 2), zeroPlanes(3, 2)); err == nil {
 		t.Fatal("MuxVec must reject plane mismatch")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Xor must panic on mismatch")
-		}
-	}()
-	Xor(Share{true}, Share{})
+	if _, err := a.AddVec(zeroPlanes(4, 2), zeroPlanes(4, 3)); err == nil {
+		t.Fatal("AddVec must reject width mismatch")
+	}
+	if _, err := Xor(Share{true}, Share{}); err == nil {
+		t.Fatal("Xor must reject length mismatch")
+	}
+	if _, err := XorPacked(NewPacked(1), NewPacked(2)); err == nil {
+		t.Fatal("XorPacked must reject length mismatch")
+	}
 }

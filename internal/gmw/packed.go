@@ -1,6 +1,8 @@
 package gmw
 
 import (
+	"fmt"
+
 	"ironman/internal/transport"
 )
 
@@ -53,13 +55,19 @@ func maskTail(limbs []uint64, n int) {
 	}
 }
 
-// XorPacked is the free XOR gate over packed shares. Like Xor it
-// panics on a length mismatch (a local programming error, not a
-// protocol failure).
-func XorPacked(a, b PackedShare) PackedShare {
+// XorPacked is the free XOR gate over packed shares. A length
+// mismatch is reported as an error, matching the error discipline of
+// the pool-exhaustion paths.
+func XorPacked(a, b PackedShare) (PackedShare, error) {
 	if a.n != b.n {
-		panic("gmw: XorPacked length mismatch")
+		return PackedShare{}, fmt.Errorf("gmw: XorPacked length mismatch: %d vs %d", a.n, b.n)
 	}
+	return xorPacked(a, b), nil
+}
+
+// xorPacked is XorPacked for call sites whose operand lengths are
+// already validated (every internal circuit builder).
+func xorPacked(a, b PackedShare) PackedShare {
 	out := PackedShare{n: a.n, limbs: make([]uint64, len(a.limbs))}
 	for i := range out.limbs {
 		out.limbs[i] = a.limbs[i] ^ b.limbs[i]

@@ -130,7 +130,7 @@ func TestRandomCircuitsCrossCheck(t *testing.T) {
 						var err error
 						switch op {
 						case 0:
-							x = XorPacked(x, y)
+							x, err = XorPacked(x, y)
 						case 1:
 							x, err = p.AndPacked(x, y)
 						case 2:
@@ -148,7 +148,7 @@ func TestRandomCircuitsCrossCheck(t *testing.T) {
 					var err error
 					switch op {
 					case 0:
-						x = Xor(x, y)
+						x, err = Xor(x, y)
 					case 1:
 						x, err = p.And(x, y)
 					case 2:

@@ -3,12 +3,14 @@ package ppml
 import (
 	"fmt"
 
+	"ironman/internal/block"
 	"ironman/internal/ferret"
 	"ironman/internal/prg"
 	"ironman/internal/sim/cpu"
 	"ironman/internal/sim/gpu"
 	"ironman/internal/sim/nmp"
 	"ironman/internal/simnet"
+	"ironman/internal/spcot"
 )
 
 // OTBackend prices the OT-extension preprocessing phase.
@@ -30,10 +32,20 @@ func mustParams(name string) ferret.Params {
 	return p
 }
 
-// PreprocBytesPerOT is the (sublinear) OTE communication per produced
-// correlation: per execution, t trees exchange log2(ℓ) puncture
-// messages of a few blocks each, amortized over Usable() outputs.
-const PreprocBytesPerOT = 0.25
+// PreprocBytesFor models the (sublinear) OTE communication per
+// produced correlation under a parameter set: per execution, each of
+// the T GGM trees exchanges log2(ℓ) puncture messages — one chosen OT
+// each, a correction byte up and two ciphertext blocks down — plus one
+// consistency block, amortized over the Usable() yield.
+func PreprocBytesFor(p ferret.Params) float64 {
+	perTree := spcot.COTBudget(p.L)*(1+2*block.Size) + block.Size
+	return float64(p.T) * float64(perTree) / float64(p.Usable())
+}
+
+// PreprocBytesPerOT is PreprocBytesFor at the parameter set all
+// backends amortize over (oteParams), so the cost models track the
+// active parameter set instead of a hardcoded constant.
+var PreprocBytesPerOT = PreprocBytesFor(oteParams)
 
 // CPUBackend is the software baseline. Threads reflects how many cores
 // the framework dedicates to OT extension alongside its other work.

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 
+	"ironman/internal/ferret"
+	"ironman/internal/gmw"
 	"ironman/internal/sim/gpu"
 	"ironman/internal/sim/nmp"
 	"ironman/internal/simnet"
@@ -228,4 +230,48 @@ func TestOperatorBenchUnknownOpPanics(t *testing.T) {
 		}
 	}()
 	OperatorBench(CrypTFlow2, GELU, 100, simnet.LAN, DefaultCPUBaseline())
+}
+
+func TestArithCostModels(t *testing.T) {
+	tr := ArithTripleCost(1000)
+	if tr.COTs != 128_000 || tr.Exchanges != 1 {
+		t.Fatalf("triple cost %+v", tr)
+	}
+	// 528 B per product per direction.
+	if got := tr.BytesPerTriple(); got != 1056 {
+		t.Fatalf("bytes/triple = %v, want 1056", got)
+	}
+	mt := ArithMatTripleCost(8, 16, 4)
+	if mt.Products != 8*16*4 {
+		t.Fatalf("mat triple products %+v", mt)
+	}
+	on := ArithMatMulOnlineCost(8, 16, 4)
+	if on.WireBytes != 2*8*(8*16+16*4) || on.COTs != 0 {
+		t.Fatalf("matmul online cost %+v", on)
+	}
+	b2a := ArithB2ACost(100, 64)
+	if b2a.COTs != 100*63 {
+		t.Fatalf("b2a cost %+v", b2a)
+	}
+	a2b := ArithA2BCost(100, 64)
+	if a2b.ANDGates != 100*int64(gmw.AdderANDGates(64)) {
+		t.Fatalf("a2b cost %+v", a2b)
+	}
+	if (ArithCost{}).BytesPerTriple() != 0 {
+		t.Fatal("empty cost has no per-triple bytes")
+	}
+}
+
+func TestPreprocBytesDerivation(t *testing.T) {
+	// The modeled preprocessing communication must be sublinear (well
+	// under a block per correlation) and track the parameter set.
+	for _, p := range ferret.Table4 {
+		b := PreprocBytesFor(p)
+		if b <= 0 || b >= 1 {
+			t.Fatalf("%s: preproc bytes/OT %v out of the sublinear range", p.Name, b)
+		}
+	}
+	if PreprocBytesPerOT != PreprocBytesFor(oteParams) {
+		t.Fatal("PreprocBytesPerOT must be derived from the active parameter set")
+	}
 }

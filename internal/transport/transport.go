@@ -298,3 +298,29 @@ func RecvUints(c Conn, n int) ([]uint32, error) {
 	}
 	return v, nil
 }
+
+// SendWords marshals a uint64 slice as one message — the wire layout of
+// every Z_2^64 share vector (internal/arith reveals and Beaver opens).
+func SendWords(c Conn, v []uint64) error {
+	buf := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(buf[8*i:], x)
+	}
+	return c.Send(buf)
+}
+
+// RecvWords receives exactly n uint64 values.
+func RecvWords(c Conn, n int) ([]uint64, error) {
+	msg, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if len(msg) != 8*n {
+		return nil, fmt.Errorf("transport: expected %d words, got %d bytes", n, len(msg))
+	}
+	v := make([]uint64, n)
+	for i := range v {
+		v[i] = binary.LittleEndian.Uint64(msg[8*i:])
+	}
+	return v, nil
+}

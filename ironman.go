@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"ironman/internal/aesprg"
+	"ironman/internal/arith"
 	"ironman/internal/block"
 	"ironman/internal/cot"
 	"ironman/internal/ferret"
@@ -427,7 +428,36 @@ func (r *Receiver) GMWPool(n int) (*GMWReceiverPool, error) {
 	if err != nil {
 		return nil, err
 	}
-	return cot.NewReceiverPool(bits, blocks), nil
+	return cot.NewReceiverPool(bits, blocks)
+}
+
+// Arithmetic engine re-exports: additive secret sharing over Z_2^64
+// with COT-backed Beaver triples and A2B/B2A bridges into the GMW
+// engine (internal/arith; see the arith section of DESIGN.md). An
+// ArithParty consumes the same two-directional pools as a GMWParty —
+// in fact it embeds one (the Bool field) on the same conn, so one
+// session mixes linear algebra and Boolean nonlinearities.
+type (
+	// ArithParty is one side of an arithmetic evaluation.
+	ArithParty = arith.Party
+	// ArithShare is an additively-shared vector over Z_2^64.
+	ArithShare = arith.Share
+	// ArithTriples is a batch of Beaver triples consumed by MulVec.
+	ArithTriples = arith.Triples
+	// ArithMatTriple is a Beaver matrix triple consumed by MatMul.
+	ArithMatTriple = arith.MatTriple
+	// FixedPoint is the two's-complement fixed-point encoding used by
+	// the arithmetic layer's ML-shaped workloads.
+	FixedPoint = arith.Fixed
+)
+
+// NewArithParty assembles an arithmetic party from one pool per OT
+// direction and runs the role handshake over conn (the peer must call
+// it concurrently with the opposite first flag). Draw the pools with
+// Sender.GMWPool / Receiver.GMWPool — arithmetic word OTs and GMW bit
+// OTs share the same correlations.
+func NewArithParty(conn Conn, out *GMWSenderPool, in *GMWReceiverPool, first bool) (*ArithParty, error) {
+	return arith.NewParty(conn, out, in, first)
 }
 
 // VerifyCOTs checks z = y ⊕ x·Δ for a batch (test/diagnostic helper —

@@ -5,9 +5,10 @@
 #
 #   ./scripts/ci.sh
 #
-# Set BENCH_JSON=path to archive the ironman-bench metrics (AND
-# gates/sec, bytes per AND, wire reduction) as a BENCH_*.json
-# trajectory point instead of printing them.
+# Set BENCH_JSON=path to archive the ironman-bench metrics (gmw: AND
+# gates/sec, bytes per AND, wire reduction; arith: triples/sec, bytes
+# per triple, matmul GFLOP-equivalent) as a BENCH_*.json trajectory
+# point instead of printing them.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -32,15 +33,17 @@ trap 'rm -rf "$bindir"' EXIT
 go build -o "$bindir/" ./examples/... ./cmd/...
 ls "$bindir"
 
-echo "== go test -race (includes the gmw engine) =="
+echo "== go test -race (includes the gmw + arith engines and the TCP pipeline) =="
 go test -race ./...
 
-echo "== gmw engine metrics (ironman-bench -exp gmw -json) =="
+echo "== engine metrics (ironman-bench -exp gmw,arith -json) =="
+# One document carries the gmw metrics (AND/s, B/AND, wire reduction)
+# and the arith metrics (triples/s, B/triple, matmul GFLOP-equiv).
 if [ -n "${BENCH_JSON:-}" ]; then
-    go run ./cmd/ironman-bench -quick -exp gmw -json > "$BENCH_JSON"
+    go run ./cmd/ironman-bench -quick -exp gmw,arith -json > "$BENCH_JSON"
     echo "archived to $BENCH_JSON"
 else
-    go run ./cmd/ironman-bench -quick -exp gmw -json
+    go run ./cmd/ironman-bench -quick -exp gmw,arith -json
 fi
 
 echo "CI OK"
