@@ -7,10 +7,12 @@
 package ironman
 
 import (
+	"fmt"
 	"testing"
 
 	"ironman/internal/experiments"
 	"ironman/internal/ferret"
+	"ironman/internal/lpn"
 	"ironman/internal/transport"
 )
 
@@ -214,6 +216,45 @@ func BenchmarkArithTripleThroughput(b *testing.B) {
 	b.ReportMetric(r.TriplesPerSec, "triples/s")
 	b.ReportMetric(r.BytesPerTriple, "B/triple")
 	b.ReportMetric(r.MatMulGFLOPs, "matmul-GFLOP/s")
+}
+
+// BenchmarkExtendThroughput measures the multicore Extend pipeline on
+// the paper's 2^22 parameter set at workers=1,2,4,8: COT/s scaling
+// (rank-parallel LPN encode + concurrent GGM expansion) at identical
+// wire bytes per COT. On a multi-core host workers=4 should land at
+// >= 2x the workers=1 throughput; a single-core container shows ~1x.
+func BenchmarkExtendThroughput(b *testing.B) {
+	params, err := ferret.ParamsByName("2^22")
+	if err != nil {
+		b.Fatal(err)
+	}
+	code := lpn.New(ferret.DefaultCodeSeed, params.N, params.K, params.D)
+	delta := Block{Lo: 3, Hi: 4}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			connS, connR := transport.Pipe()
+			defer connS.Close()
+			defer connR.Close()
+			opts := ferret.Options{Workers: workers, Code: code,
+				Seed: Block{Lo: 0xbe7c4, Hi: uint64(workers)}}
+			s, r, err := ferret.DealPools(connS, connR, delta, params, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(params.Usable()) * 16)
+			b.ResetTimer()
+			var wire int64
+			for i := 0; i < b.N; i++ {
+				base := connS.Stats().TotalBytes()
+				if _, _, err := ferret.ExtendLockstep(s, r); err != nil {
+					b.Fatal(err)
+				}
+				wire = connS.Stats().TotalBytes() - base
+			}
+			b.ReportMetric(float64(params.Usable())*float64(b.N)/b.Elapsed().Seconds(), "COT/s")
+			b.ReportMetric(float64(wire)/float64(params.Usable()), "B/COT")
+		})
+	}
 }
 
 // BenchmarkProtocolExtend2to20 measures the real Go protocol — both

@@ -5,12 +5,14 @@
 //	ironman-bench [-quick] [-exp name[,name...]] [-json]
 //
 // Experiment names: fig1a fig1b fig1c fig7 fig8 fig12 fig13 fig14
-// fig15 fig16 table2 table4 table5 table6 gmw arith all (default
-// all); -exp accepts a comma-separated list. "gmw" runs the real
-// bitsliced GMW engine (batched 64-bit comparison) and reports
+// fig15 fig16 table2 table4 table5 table6 gmw arith extend all
+// (default all); -exp accepts a comma-separated list. "gmw" runs the
+// real bitsliced GMW engine (batched 64-bit comparison) and reports
 // AND-gates/sec and wire bytes per AND gate; "arith" runs the real
 // arithmetic engine (COT-backed Beaver triples, fixed-point matmul)
-// and reports triples/sec and measured bytes per triple.
+// and reports triples/sec and measured bytes per triple; "extend"
+// runs the real multicore Extend pipeline at workers=1,2,4,8 and
+// reports the COT/s scaling curve with its (constant) bytes per COT.
 //
 // With -json the selected experiments are emitted as one JSON
 // document on stdout — {"meta": {...}, "experiments": {name:
@@ -88,6 +90,9 @@ var all = []experiment{
 	}},
 	{"arith", func(o experiments.Options) (any, string) {
 		return both(experiments.ArithBench(o), experiments.RenderArith)
+	}},
+	{"extend", func(o experiments.Options) (any, string) {
+		return both(experiments.ExtendBench(o), experiments.RenderExtend)
 	}},
 }
 

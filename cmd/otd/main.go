@@ -29,6 +29,7 @@ func main() {
 	prefetch := flag.Int("prefetch", 2, "default per-session prefetch depth (Extend batches)")
 	maxDepth := flag.Int("max-depth", 8, "cap on client-requested prefetch depth")
 	maxSessions := flag.Int("max-sessions", 64, "concurrent session limit")
+	workers := flag.Int("workers", 0, "per-session Extend worker goroutines (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "dump a running daemon's stats and exit")
 	connect := flag.String("connect", "", "daemon address for -stats")
 	flag.Parse()
@@ -46,6 +47,7 @@ func main() {
 		Depth:         *prefetch,
 		MaxDepth:      *maxDepth,
 		MaxSessions:   *maxSessions,
+		Workers:       *workers,
 	})
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

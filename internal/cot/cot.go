@@ -212,7 +212,9 @@ func SendChosenBits(conn transport.Conn, pool *SenderPool, h *aesprg.Hash, m0, m
 		setBit(ct1, i, bit(m1, i)^h.Sum(rnd, tweak).Lo&1)
 	}
 	frame := append(transport.PackedToWire(ct0, n), transport.PackedToWire(ct1, n)...)
-	return conn.Send(frame)
+	// Both peers compute the frame size from n, so the chunked byte
+	// framing reassembles oversized batches transparently.
+	return transport.SendBytes(conn, frame)
 }
 
 // ReceiveChosenBits runs the receiver side of SendChosenBits: choices
@@ -239,13 +241,10 @@ func ReceiveChosenBits(conn transport.Conn, pool *ReceiverPool, h *aesprg.Hash, 
 	if err := conn.Send(transport.PackedToWire(ds, n)); err != nil {
 		return nil, err
 	}
-	frame, err := conn.Recv()
-	if err != nil {
-		return nil, err
-	}
 	half := (n + 7) / 8
-	if len(frame) != 2*half {
-		return nil, fmt.Errorf("cot: expected %d-byte bit-OT frame, got %d bytes", 2*half, len(frame))
+	frame, err := transport.RecvBytes(conn, 2*half)
+	if err != nil {
+		return nil, fmt.Errorf("cot: bit-OT frame: %w", err)
 	}
 	ct0, err := transport.WireToPacked(frame[:half], n)
 	if err != nil {
@@ -383,7 +382,10 @@ func SendChosenWords(conn transport.Conn, pool *SenderPool, h *aesprg.Hash, m0, 
 		w.write((m0[i]^h.Sum(rd, tweak).Lo)&mask, widths[i])
 		w.write((m1[i]^h.Sum(rnd, tweak).Lo)&mask, widths[i])
 	}
-	return conn.Send(w.buf)
+	// A large Gilboa batch (>~127k triples, or one big matmul's flattened
+	// products) exceeds MaxMessage; both peers derive the frame size
+	// from widths, so the chunked byte framing keeps them in sync.
+	return transport.SendBytes(conn, w.buf)
 }
 
 // ReceiveChosenWords runs the receiver side of SendChosenWords:
@@ -410,12 +412,9 @@ func ReceiveChosenWords(conn transport.Conn, pool *ReceiverPool, h *aesprg.Hash,
 	if err := conn.Send(transport.PackedToWire(ds, n)); err != nil {
 		return nil, err
 	}
-	frame, err := conn.Recv()
+	frame, err := transport.RecvBytes(conn, wordFrameBytes(widths))
 	if err != nil {
-		return nil, err
-	}
-	if len(frame) != wordFrameBytes(widths) {
-		return nil, fmt.Errorf("cot: expected %d-byte word-OT frame, got %d bytes", wordFrameBytes(widths), len(frame))
+		return nil, fmt.Errorf("cot: word-OT frame: %w", err)
 	}
 	r := bitReader{buf: frame}
 	out := make([]uint64, n)
@@ -446,15 +445,24 @@ func abOnePRG() prg.PRG { return prg.New(prg.AES, 2) }
 // learns every message except the one at its secret index. len(msgs)
 // must be a power of two >= 2. Consumes log2(len(msgs)) COTs.
 func SendAllButOne(conn transport.Conn, pool *SenderPool, h *aesprg.Hash, msgs []block.Block) error {
-	m := len(msgs)
-	if m < 2 || bits.OnesCount(uint(m)) != 1 {
-		return fmt.Errorf("cot: all-but-one needs a power-of-two message count, got %d", m)
-	}
 	var seedBytes [block.Size]byte
 	if _, err := rand.Read(seedBytes[:]); err != nil {
 		return err
 	}
-	seed := block.FromBytes(seedBytes[:])
+	return SendAllButOneSeeded(conn, pool, h, msgs, block.FromBytes(seedBytes[:]))
+}
+
+// SendAllButOneSeeded is SendAllButOne with a caller-provided gadget
+// tree seed. The seed must be secret and fresh per call (SendAllButOne
+// draws it from crypto/rand; spcot derives it from each execution's
+// secret GGM root so a whole sender flight is a deterministic function
+// of that root — what the parallel-vs-sequential transcript
+// cross-checks rely on).
+func SendAllButOneSeeded(conn transport.Conn, pool *SenderPool, h *aesprg.Hash, msgs []block.Block, seed block.Block) error {
+	m := len(msgs)
+	if m < 2 || bits.OnesCount(uint(m)) != 1 {
+		return fmt.Errorf("cot: all-but-one needs a power-of-two message count, got %d", m)
+	}
 	p := abOnePRG()
 	arities := ggm.LevelArities(m, 2)
 	tree := ggm.Expand(p, seed, arities)
@@ -536,6 +544,20 @@ func RandomPoolsWithDelta(delta block.Block, n int) (*SenderPool, *ReceiverPool,
 	if _, err := rand.Read(buf); err != nil {
 		return nil, nil, err
 	}
+	return poolsFromBytes(buf, delta, n)
+}
+
+// PoolsFromStream is RandomPoolsWithDelta with the randomness drawn
+// from a deterministic stream — the dealer behind ferret.Options.Seed.
+// Correlations derived from a known seed are NOT secure; tests and
+// benchmarks only.
+func PoolsFromStream(s *aesprg.Stream, delta block.Block, n int) (*SenderPool, *ReceiverPool, error) {
+	buf := make([]byte, block.Size*n+(n+7)/8)
+	s.Fill(buf)
+	return poolsFromBytes(buf, delta, n)
+}
+
+func poolsFromBytes(buf []byte, delta block.Block, n int) (*SenderPool, *ReceiverPool, error) {
 	r0 := block.SliceFromBytes(buf[:block.Size*n])
 	bitsBuf := buf[block.Size*n:]
 	bits := make([]bool, n)

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ironman/internal/block"
+	"ironman/internal/ferret"
+	"ironman/internal/lpn"
+	"ironman/internal/transport"
+)
+
+// ExtendPoint is one worker count's measurement of the real Extend
+// pipeline (both parties in-process over a pipe).
+type ExtendPoint struct {
+	Workers     int     `json:"workers"`
+	Seconds     float64 `json:"seconds"`
+	COTsPerSec  float64 `json:"cots_per_sec"`
+	WireBytes   int64   `json:"wire_bytes"`
+	BytesPerCOT float64 `json:"bytes_per_cot"`
+	Speedup     float64 `json:"speedup"` // vs workers=1
+}
+
+// ExtendResult is the worker-scaling curve of the multicore Extend
+// pipeline: COT/s and wire bytes per COT at workers=1,2,4,8. The wire
+// transcript is asserted byte-count-identical across worker counts
+// (the parallel phases are local-only), so BytesPerCOT is constant and
+// Speedup isolates the compute scaling.
+type ExtendResult struct {
+	ParamSet   string        `json:"param_set"`
+	Iterations int           `json:"iterations"`
+	Usable     int           `json:"usable"`
+	Points     []ExtendPoint `json:"points"`
+}
+
+// extendBenchSeed makes every worker count replay the identical
+// protocol instance (same dealt reserve, tree seeds, noise positions).
+var extendBenchSeed = block.New(0x657874656e64, 0x62656e6368)
+
+// ExtendBench measures Extend throughput across worker counts on the
+// paper's 2^22 parameter set (Quick: 2^20, one iteration) — the
+// software analog of the paper's rank-parallelism ablation.
+func ExtendBench(o Options) ExtendResult {
+	name, iters := "2^22", 2
+	if o.Quick {
+		name, iters = "2^20", 1
+	}
+	params, err := ferret.ParamsByName(name)
+	if err != nil {
+		panic(err)
+	}
+	// Share one derived LPN code across all worker counts: the index
+	// matrix is identical (public seed) and dominates setup time.
+	code := lpn.New(ferret.DefaultCodeSeed, params.N, params.K, params.D)
+	delta := block.New(0xdead, 0xbeef)
+
+	res := ExtendResult{ParamSet: name, Iterations: iters, Usable: params.Usable()}
+	for _, workers := range []int{1, 2, 4, 8} {
+		connS, connR := transport.Pipe()
+		opts := ferret.Options{Workers: workers, Seed: extendBenchSeed, Code: code}
+		s, r, err := ferret.DealPools(connS, connR, delta, params, opts)
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		for it := 0; it < iters; it++ {
+			z, out, err := ferret.ExtendLockstep(s, r)
+			if err != nil {
+				panic(err)
+			}
+			// Spot-check the correlation on the first/last outputs so a
+			// broken parallel path cannot post a fast number.
+			if err := ferret.Check(delta, z[:1], &ferret.ReceiverOutput{Bits: out.Bits[:1], Blocks: out.Blocks[:1]}); err != nil {
+				panic(err)
+			}
+			last := len(z) - 1
+			if err := ferret.Check(delta, z[last:], &ferret.ReceiverOutput{Bits: out.Bits[last:], Blocks: out.Blocks[last:]}); err != nil {
+				panic(err)
+			}
+		}
+		elapsed := time.Since(start).Seconds()
+		wire := connS.Stats().TotalBytes()
+		cots := float64(params.Usable()) * float64(iters)
+		res.Points = append(res.Points, ExtendPoint{
+			Workers:     workers,
+			Seconds:     elapsed,
+			COTsPerSec:  cots / elapsed,
+			WireBytes:   wire,
+			BytesPerCOT: float64(wire) / cots,
+		})
+		connS.Close()
+		connR.Close()
+	}
+	base := res.Points[0]
+	for i := range res.Points {
+		res.Points[i].Speedup = base.Seconds / res.Points[i].Seconds
+		if res.Points[i].WireBytes != base.WireBytes {
+			panic(fmt.Sprintf("experiments: workers=%d moved %d wire bytes, workers=1 moved %d — parallel Extend must not touch the transcript",
+				res.Points[i].Workers, res.Points[i].WireBytes, base.WireBytes))
+		}
+	}
+	return res
+}
+
+// RenderExtend prints the worker-scaling curve.
+func RenderExtend(r ExtendResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extend worker scaling: %s set, %d iteration(s), %d usable COTs each\n",
+		r.ParamSet, r.Iterations, r.Usable)
+	fmt.Fprintf(&b, "%-8s %10s %12s %12s %8s\n", "workers", "time(ms)", "COT/s", "B/COT", "speedup")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-8d %10.1f %12.0f %12.4f %7.2fx\n",
+			p.Workers, p.Seconds*1e3, p.COTsPerSec, p.BytesPerCOT, p.Speedup)
+	}
+	return b.String()
+}

@@ -33,6 +33,15 @@ import (
 	"ironman/internal/transport"
 )
 
+// Domain-separation constants for the deterministic Options.Seed
+// streams: each endpoint role derives its private randomness from an
+// independent stream so the two halves never consume the same bytes.
+var (
+	seedDomainSender   = block.New(0x73656e646572, 1)
+	seedDomainReceiver = block.New(0x7265636569766572, 2)
+	seedDomainDealer   = block.New(0x6465616c6572, 3)
+)
+
 // DefaultCodeSeed is the public seed both parties use to derive the
 // fixed LPN matrix A. Fixing it in the package mirrors the fixed public
 // code of real deployments.
@@ -45,6 +54,26 @@ type Options struct {
 	PRG prg.PRG
 	// CodeSeed overrides the public LPN code seed.
 	CodeSeed block.Block
+	// Workers caps the goroutines Extend's local phases use (the
+	// rank-parallel LPN encode, the concurrent GGM tree
+	// expansion/reconstruction). 0 — the default — selects
+	// runtime.GOMAXPROCS; 1 is the strictly sequential seed path. The
+	// wire transcript is byte-identical for every value: only local
+	// compute is sharded.
+	Workers int
+	// Code overrides the LPN code derived from CodeSeed. The matrix
+	// must match the endpoint's params; callers that open many
+	// endpoints on one parameter set share one derivation this way
+	// (the 2^24 index matrix alone is ~690 MB).
+	Code *lpn.Code
+	// Seed, when non-zero, derives every endpoint-local random draw —
+	// the dealt first reserve (DealPools), per-iteration GGM tree
+	// seeds, and the receiver's noise positions — from deterministic
+	// AES-CTR streams instead of crypto/rand, making a dealt run a
+	// pure function of (delta, params, options). NOT secure; the
+	// parallel-vs-sequential determinism cross-checks and the
+	// benchmark harness use it.
+	Seed block.Block
 }
 
 func (o *Options) fill() {
@@ -56,15 +85,40 @@ func (o *Options) fill() {
 	}
 }
 
+// code resolves the LPN code: the injected override (whose shape must
+// match params — a mismatch would otherwise panic mid-protocol, on the
+// background refill goroutine under Prefetch) or a fresh derivation.
+func (o *Options) code(params Params) (*lpn.Code, error) {
+	if o.Code != nil {
+		if o.Code.N != params.N || o.Code.K != params.K || o.Code.D != params.D {
+			return nil, fmt.Errorf("ferret: Options.Code is (n=%d,k=%d,d=%d), params %s need (n=%d,k=%d,d=%d)",
+				o.Code.N, o.Code.K, o.Code.D, params.Name, params.N, params.K, params.D)
+		}
+		return o.Code, nil
+	}
+	return lpn.New(o.CodeSeed, params.N, params.K, params.D), nil
+}
+
+// stream returns the domain-separated deterministic stream for one
+// endpoint role, or nil when Seed is unset (crypto/rand randomness).
+func (o *Options) stream(domain block.Block) *aesprg.Stream {
+	if o.Seed == (block.Block{}) {
+		return nil
+	}
+	return aesprg.NewStream(o.Seed.Xor(domain))
+}
+
 // Sender is the OTE sender (holder of the global Δ).
 type Sender struct {
-	conn   transport.Conn
-	params Params
-	prg    prg.PRG
-	hash   *aesprg.Hash
-	code   *lpn.Code
-	pool   *cot.SenderPool
-	Delta  block.Block
+	conn    transport.Conn
+	params  Params
+	prg     prg.PRG
+	hash    *aesprg.Hash
+	code    *lpn.Code
+	pool    *cot.SenderPool
+	workers int
+	rng     *aesprg.Stream // deterministic tree seeds; nil = crypto/rand
+	Delta   block.Block
 	// Iterations counts completed Extend calls.
 	Iterations int
 }
@@ -77,6 +131,8 @@ type Receiver struct {
 	hash       *aesprg.Hash
 	code       *lpn.Code
 	pool       *cot.ReceiverPool
+	workers    int
+	rng        *aesprg.Stream // deterministic noise positions; nil = crypto/rand
 	Iterations int
 }
 
@@ -87,6 +143,11 @@ func NewSender(conn transport.Conn, delta block.Block, params Params, opts Optio
 		return nil, err
 	}
 	opts.fill()
+	// Resolve (and shape-check) the code before any wire traffic.
+	code, err := opts.code(params)
+	if err != nil {
+		return nil, err
+	}
 	ik, err := iknp.NewSender(conn, delta)
 	if err != nil {
 		return nil, fmt.Errorf("ferret init: %w", err)
@@ -96,13 +157,15 @@ func NewSender(conn transport.Conn, delta block.Block, params Params, opts Optio
 		return nil, fmt.Errorf("ferret init extend: %w", err)
 	}
 	return &Sender{
-		conn:   conn,
-		params: params,
-		prg:    opts.PRG,
-		hash:   aesprg.NewHash(),
-		code:   lpn.New(opts.CodeSeed, params.N, params.K, params.D),
-		pool:   cot.NewSenderPool(delta, r0),
-		Delta:  delta,
+		conn:    conn,
+		params:  params,
+		prg:     opts.PRG,
+		hash:    aesprg.NewHash(),
+		code:    code,
+		pool:    cot.NewSenderPool(delta, r0),
+		workers: opts.Workers,
+		rng:     opts.stream(seedDomainSender),
+		Delta:   delta,
 	}, nil
 }
 
@@ -112,6 +175,10 @@ func NewReceiver(conn transport.Conn, params Params, opts Options) (*Receiver, e
 		return nil, err
 	}
 	opts.fill()
+	code, err := opts.code(params)
+	if err != nil {
+		return nil, err
+	}
 	ik, err := iknp.NewReceiver(conn)
 	if err != nil {
 		return nil, fmt.Errorf("ferret init: %w", err)
@@ -133,12 +200,14 @@ func NewReceiver(conn transport.Conn, params Params, opts Options) (*Receiver, e
 		return nil, err
 	}
 	return &Receiver{
-		conn:   conn,
-		params: params,
-		prg:    opts.PRG,
-		hash:   aesprg.NewHash(),
-		code:   lpn.New(opts.CodeSeed, params.N, params.K, params.D),
-		pool:   pool,
+		conn:    conn,
+		params:  params,
+		prg:     opts.PRG,
+		hash:    aesprg.NewHash(),
+		code:    code,
+		pool:    pool,
+		workers: opts.Workers,
+		rng:     opts.stream(seedDomainReceiver),
 	}, nil
 }
 
@@ -151,10 +220,18 @@ func (r *Receiver) mpcotConfig() mpcot.Config {
 }
 
 // Extend runs one protocol iteration and returns Usable() fresh r0
-// blocks (r1 = r0 ⊕ Δ implied).
+// blocks (r1 = r0 ⊕ Δ implied). Local phases (GGM expansion, the LPN
+// encode) shard across Options.Workers goroutines; the wire transcript
+// does not depend on the worker count.
 func (s *Sender) Extend() ([]block.Block, error) {
-	// Step 1: interactive SPCOT phase.
-	w, err := mpcot.Send(s.conn, s.pool, s.hash, s.prg, s.mpcotConfig())
+	cfg := s.mpcotConfig()
+	// Step 1: interactive SPCOT phase — parallel tree expansion, then
+	// sequential puncturing flights.
+	seeds, err := s.treeSeeds(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w, err := mpcot.SendSeeded(s.conn, s.pool, s.hash, s.prg, cfg, seeds, s.workers)
 	if err != nil {
 		return nil, fmt.Errorf("ferret extend (spcot): %w", err)
 	}
@@ -163,14 +240,25 @@ func (s *Sender) Extend() ([]block.Block, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ferret extend (lpn input): %w", err)
 	}
-	// Step 3: local LPN encoding, z = r·A ⊕ w.
+	// Step 3: local LPN encoding, z = r·A ⊕ w (rank-parallel).
 	z := make([]block.Block, s.params.N)
-	s.code.EncodeBlocks(z, r, w)
+	s.code.EncodeBlocksParallel(z, r, w, s.workers)
 	// Step 4: bootstrap the next iteration from the tail.
 	usable := s.params.Usable()
 	s.pool = cot.NewSenderPool(s.Delta, z[usable:])
 	s.Iterations++
 	return z[:usable], nil
+}
+
+// treeSeeds draws one GGM root per bucket: from the deterministic
+// stream when Options.Seed is set, from crypto/rand otherwise.
+func (s *Sender) treeSeeds(cfg mpcot.Config) ([]block.Block, error) {
+	if s.rng == nil {
+		return cfg.RandomSeeds()
+	}
+	seeds := make([]block.Block, cfg.T)
+	s.rng.Blocks(seeds)
+	return seeds, nil
 }
 
 // ReceiverOutput is one iteration's receiver-side yield: choice bits
@@ -180,14 +268,22 @@ type ReceiverOutput struct {
 	Blocks []block.Block
 }
 
-// Extend runs one protocol iteration on the receiver side.
+// Extend runs one protocol iteration on the receiver side. As on the
+// sender, local phases shard across Options.Workers goroutines without
+// touching the wire transcript.
 func (r *Receiver) Extend() (*ReceiverOutput, error) {
 	cfg := r.mpcotConfig()
-	alphas, err := cfg.RandomAlphas()
-	if err != nil {
-		return nil, err
+	var alphas []int
+	if r.rng != nil {
+		alphas = cfg.AlphasFrom(r.rng)
+	} else {
+		var err error
+		alphas, err = cfg.RandomAlphas()
+		if err != nil {
+			return nil, err
+		}
 	}
-	v, err := mpcot.Receive(r.conn, r.pool, r.hash, r.prg, cfg, alphas)
+	v, err := mpcot.ReceiveWorkers(r.conn, r.pool, r.hash, r.prg, cfg, alphas, r.workers)
 	if err != nil {
 		return nil, fmt.Errorf("ferret extend (spcot): %w", err)
 	}
@@ -196,9 +292,21 @@ func (r *Receiver) Extend() (*ReceiverOutput, error) {
 		return nil, fmt.Errorf("ferret extend (lpn input): %w", err)
 	}
 	y := make([]block.Block, r.params.N)
-	r.code.EncodeBlocks(y, sBlocks, v)
+	r.code.EncodeBlocksParallel(y, sBlocks, v, r.workers)
+	// Noise positions in [N, t·ℓ) sit in the truncated tail of the
+	// output range: their tree output was discarded by MPCOT, so they
+	// carry no noise and are dropped here ON PURPOSE — EncodeBits
+	// itself rejects out-of-range points as caller bugs.
+	points := make([]int, 0, len(alphas))
+	for _, a := range alphas {
+		if a < r.params.N {
+			points = append(points, a)
+		}
+	}
 	x := make([]bool, r.params.N)
-	r.code.EncodeBits(x, e, alphas)
+	if err := r.code.EncodeBitsParallel(x, e, points, r.workers); err != nil {
+		return nil, fmt.Errorf("ferret extend (lpn noise): %w", err)
+	}
 
 	usable := r.params.Usable()
 	pool, err := cot.NewReceiverPool(x[usable:], y[usable:])
@@ -220,18 +328,30 @@ func DealPools(connS, connR transport.Conn, delta block.Block, params Params, op
 		return nil, nil, err
 	}
 	opts.fill()
-	sp, rp, err := cot.RandomPoolsWithDelta(delta, params.Reserve())
+	var sp *cot.SenderPool
+	var rp *cot.ReceiverPool
+	var err error
+	if dealer := opts.stream(seedDomainDealer); dealer != nil {
+		sp, rp, err = cot.PoolsFromStream(dealer, delta, params.Reserve())
+	} else {
+		sp, rp, err = cot.RandomPoolsWithDelta(delta, params.Reserve())
+	}
 	if err != nil {
 		return nil, nil, err
 	}
-	code := lpn.New(opts.CodeSeed, params.N, params.K, params.D)
+	code, err := opts.code(params)
+	if err != nil {
+		return nil, nil, err
+	}
 	s := &Sender{
 		conn: connS, params: params, prg: opts.PRG, hash: aesprg.NewHash(),
 		code: code, pool: sp, Delta: delta,
+		workers: opts.Workers, rng: opts.stream(seedDomainSender),
 	}
 	r := &Receiver{
 		conn: connR, params: params, prg: opts.PRG, hash: aesprg.NewHash(),
 		code: code, pool: rp,
+		workers: opts.Workers, rng: opts.stream(seedDomainReceiver),
 	}
 	return s, r, nil
 }

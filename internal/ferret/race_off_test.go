@@ -1,0 +1,5 @@
+//go:build !race
+
+package ferret
+
+const raceDetector = false

@@ -18,6 +18,7 @@ import (
 
 	"ironman/internal/aesprg"
 	"ironman/internal/block"
+	"ironman/internal/parallel"
 )
 
 // DefaultD is the row weight of the baseline parameter sets (each
@@ -69,44 +70,72 @@ func (c *Code) Row(i int) []uint32 { return c.idx[i*c.D : (i+1)*c.D] }
 // w may be nil, in which case the pure syndrome r·A is produced.
 // out must have length N and r length K.
 func (c *Code) EncodeBlocks(out, r, w []block.Block) {
+	c.EncodeBlocksParallel(out, r, w, 1)
+}
+
+// EncodeBlocksParallel is EncodeBlocks sharded across up to `workers`
+// goroutines by contiguous row ranges — the software analog of the
+// paper's rank-parallel encode. Rows are independent (each writes only
+// out[i] and reads the shared r/w), so the output is identical to the
+// sequential encode for any worker count; workers <= 0 selects
+// runtime.GOMAXPROCS, 1 is the sequential path.
+func (c *Code) EncodeBlocksParallel(out, r, w []block.Block, workers int) {
 	if len(out) != c.N || len(r) != c.K {
 		panic("lpn: EncodeBlocks dimension mismatch")
 	}
 	if w != nil && len(w) != c.N {
 		panic("lpn: EncodeBlocks w dimension mismatch")
 	}
-	for i := 0; i < c.N; i++ {
-		var acc block.Block
-		for _, j := range c.idx[i*c.D : (i+1)*c.D] {
-			acc.Lo ^= r[j].Lo
-			acc.Hi ^= r[j].Hi
+	parallel.Shard(workers, c.N, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var acc block.Block
+			for _, j := range c.idx[i*c.D : (i+1)*c.D] {
+				acc.Lo ^= r[j].Lo
+				acc.Hi ^= r[j].Hi
+			}
+			if w != nil {
+				acc = acc.Xor(w[i])
+			}
+			out[i] = acc
 		}
-		if w != nil {
-			acc = acc.Xor(w[i])
-		}
-		out[i] = acc
-	}
+	})
 }
 
 // EncodeBits computes out[i] = u[i] ⊕ XOR_j e[A_i,j] over GF(2).
 // u is given as a sparse set of positions (the MPCOT noise positions);
-// positions >= N are ignored.
-func (c *Code) EncodeBits(out, e []bool, points []int) {
+// every position must lie in [0, N) — an out-of-range point means the
+// caller's noise vector does not match this code, which would silently
+// break the output correlation, so it is reported as an error instead.
+func (c *Code) EncodeBits(out, e []bool, points []int) error {
+	return c.EncodeBitsParallel(out, e, points, 1)
+}
+
+// EncodeBitsParallel is EncodeBits sharded across up to `workers`
+// goroutines by contiguous row ranges. The sparse noise points are
+// validated up front and applied after the dense phase completes, so
+// the result is identical for any worker count.
+func (c *Code) EncodeBitsParallel(out, e []bool, points []int, workers int) error {
 	if len(out) != c.N || len(e) != c.K {
 		panic("lpn: EncodeBits dimension mismatch")
 	}
-	for i := 0; i < c.N; i++ {
-		acc := false
-		for _, j := range c.idx[i*c.D : (i+1)*c.D] {
-			acc = acc != e[j]
-		}
-		out[i] = acc
-	}
 	for _, p := range points {
-		if p < c.N {
-			out[p] = !out[p]
+		if p < 0 || p >= c.N {
+			return fmt.Errorf("lpn: noise point %d outside [0,%d)", p, c.N)
 		}
 	}
+	parallel.Shard(workers, c.N, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acc := false
+			for _, j := range c.idx[i*c.D : (i+1)*c.D] {
+				acc = acc != e[j]
+			}
+			out[i] = acc
+		}
+	})
+	for _, p := range points {
+		out[p] = !out[p]
+	}
+	return nil
 }
 
 // AccessTrace invokes f for every input-vector access the encoder makes

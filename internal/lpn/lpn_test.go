@@ -1,6 +1,7 @@
 package lpn
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -122,7 +123,9 @@ func TestCOTPreservation(t *testing.T) {
 	x := make([]bool, n)
 	c.EncodeBlocks(z, r, w)
 	c.EncodeBlocks(y, s, v)
-	c.EncodeBits(x, e, points)
+	if err := c.EncodeBits(x, e, points); err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < n; i++ {
 		want := y[i]
 		if x[i] {
@@ -138,11 +141,76 @@ func TestEncodeBitsSparsePoints(t *testing.T) {
 	c := testCode(32, 16)
 	e := make([]bool, 16) // all zero
 	out := make([]bool, 32)
-	c.EncodeBits(out, e, []int{5, 31, 40}) // 40 ignored (>= n)
+	if err := c.EncodeBits(out, e, []int{5, 31}); err != nil {
+		t.Fatal(err)
+	}
 	for i, b := range out {
 		want := i == 5 || i == 31
 		if b != want {
 			t.Fatalf("bit %d = %v, want %v", i, b, want)
+		}
+	}
+}
+
+// TestEncodeBitsRejectsBadPoints: out-of-range noise positions used to
+// be dropped silently (and negative ones crashed with an index panic),
+// producing a wrong correlation with no signal. They must fail loudly.
+func TestEncodeBitsRejectsBadPoints(t *testing.T) {
+	c := testCode(32, 16)
+	e := make([]bool, 16)
+	out := make([]bool, 32)
+	for _, points := range [][]int{{40}, {32}, {-1}, {5, 31, 32}} {
+		if err := c.EncodeBits(out, e, points); err == nil {
+			t.Fatalf("points %v: expected error", points)
+		}
+	}
+	// A failed call must not have flipped any valid point it validated.
+	if err := c.EncodeBits(out, e, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range out {
+		if b {
+			t.Fatalf("bit %d set after rejected encode", i)
+		}
+	}
+}
+
+// TestEncodeParallelDeterminism: sharded encodes must be bit-identical
+// to the sequential path for every worker count, including counts that
+// exceed the row count.
+func TestEncodeParallelDeterminism(t *testing.T) {
+	const n, k = 257, 64 // odd n exercises uneven shard boundaries
+	c := testCode(n, k)
+	rng := rand.New(rand.NewSource(9))
+	r := make([]block.Block, k)
+	e := make([]bool, k)
+	for i := range r {
+		r[i] = block.New(rng.Uint64(), rng.Uint64())
+		e[i] = rng.Intn(2) == 1
+	}
+	w := make([]block.Block, n)
+	for i := range w {
+		w[i] = block.New(rng.Uint64(), rng.Uint64())
+	}
+	points := []int{0, 100, n - 1}
+
+	wantB := make([]block.Block, n)
+	c.EncodeBlocks(wantB, r, w)
+	wantX := make([]bool, n)
+	if err := c.EncodeBits(wantX, e, points); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, n + 5} {
+		gotB := make([]block.Block, n)
+		c.EncodeBlocksParallel(gotB, r, w, workers)
+		gotX := make([]bool, n)
+		if err := c.EncodeBitsParallel(gotX, e, points, workers); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if gotB[i] != wantB[i] || gotX[i] != wantX[i] {
+				t.Fatalf("workers=%d: row %d differs from sequential encode", workers, i)
+			}
 		}
 	}
 }
@@ -196,5 +264,20 @@ func BenchmarkEncodeBlocks(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.EncodeBlocks(out, r, nil)
+	}
+}
+
+func BenchmarkEncodeBlocksParallel(b *testing.B) {
+	const n, k = 1 << 18, 1 << 15
+	c := testCode(n, k)
+	r := make([]block.Block, k)
+	out := make([]block.Block, n)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(n * DefaultD * block.Size))
+			for i := 0; i < b.N; i++ {
+				c.EncodeBlocksParallel(out, r, nil, workers)
+			}
+		})
 	}
 }

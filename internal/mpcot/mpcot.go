@@ -14,6 +14,7 @@ import (
 	"ironman/internal/aesprg"
 	"ironman/internal/block"
 	"ironman/internal/cot"
+	"ironman/internal/parallel"
 	"ironman/internal/prg"
 	"ironman/internal/spcot"
 	"ironman/internal/transport"
@@ -64,17 +65,25 @@ func (c Config) bucketSpan(i int) (lo, hi int) {
 	return lo, hi
 }
 
+// noiseSpan is the half-open range a bucket's punctured position is
+// drawn from: the part of the bucket inside [0, N), or — for a bucket
+// entirely beyond N, whose tree still runs for protocol symmetry — the
+// whole bucket. Shared by RandomAlphas and AlphasFrom so the two draw
+// paths can never drift apart in distribution.
+func (c Config) noiseSpan(i int) (lo, hi int) {
+	lo, hi = c.bucketSpan(i)
+	if hi <= lo {
+		lo, hi = i*c.Leaves, i*c.Leaves+c.Leaves
+	}
+	return lo, hi
+}
+
 // RandomAlphas draws one uniformly random punctured position per bucket
 // (within the part of the bucket that lies inside [0, N)).
 func (c Config) RandomAlphas() ([]int, error) {
 	alphas := make([]int, c.T)
 	for i := range alphas {
-		lo, hi := c.bucketSpan(i)
-		if hi <= lo {
-			// Bucket entirely beyond N: the tree is still expanded for
-			// protocol symmetry; puncture anywhere.
-			lo, hi = i*c.Leaves, i*c.Leaves+c.Leaves
-		}
+		lo, hi := c.noiseSpan(i)
 		v, err := rand.Int(rand.Reader, big.NewInt(int64(hi-lo)))
 		if err != nil {
 			return nil, err
@@ -84,21 +93,78 @@ func (c Config) RandomAlphas() ([]int, error) {
 	return alphas, nil
 }
 
+// AlphasFrom is RandomAlphas with the randomness drawn from a
+// deterministic stream instead of crypto/rand — the determinism hook
+// behind ferret.Options.Seed (tests and benchmarks only; a punctured
+// position derived from a known seed is not secret).
+func (c Config) AlphasFrom(s *aesprg.Stream) []int {
+	alphas := make([]int, c.T)
+	for i := range alphas {
+		lo, hi := c.noiseSpan(i)
+		alphas[i] = lo + int(s.Uint32n(uint32(hi-lo)))
+	}
+	return alphas
+}
+
+// RandomSeeds draws one fresh GGM root seed per bucket from
+// crypto/rand.
+func (c Config) RandomSeeds() ([]block.Block, error) {
+	buf := make([]byte, c.T*block.Size)
+	if _, err := rand.Read(buf); err != nil {
+		return nil, err
+	}
+	return block.SliceFromBytes(buf), nil
+}
+
 // Send runs the sender side: t SPCOT executions whose leaves are
-// concatenated and truncated to n blocks (the vector w).
+// concatenated and truncated to n blocks (the vector w). Sequential
+// single-worker variant of SendSeeded with fresh random seeds.
 func Send(conn transport.Conn, pool *cot.SenderPool, h *aesprg.Hash, p prg.PRG, cfg Config) ([]block.Block, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	seeds, err := cfg.RandomSeeds()
+	if err != nil {
+		return nil, err
+	}
+	return SendSeeded(conn, pool, h, p, cfg, seeds, 1)
+}
+
+// SendSeeded is the two-phase sender: phase one expands all t GGM trees
+// locally (concurrently across up to `workers` goroutines — the trees
+// are independent, which is what makes the paper's 4-ary construction
+// embarrassingly parallel across buckets); phase two runs the
+// puncturing flights strictly sequentially in bucket order, exactly as
+// the sequential path does, so the wire transcript is byte-identical
+// for every worker count. seeds supplies one GGM root per bucket
+// (deterministic runs pass a derived stream; Send draws fresh ones).
+func SendSeeded(conn transport.Conn, pool *cot.SenderPool, h *aesprg.Hash, p prg.PRG, cfg Config, seeds []block.Block, workers int) ([]block.Block, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(seeds) != cfg.T {
+		return nil, fmt.Errorf("mpcot: need %d seeds, got %d", cfg.T, len(seeds))
+	}
+	// Phase 1 (local, parallel): expand every bucket's tree and place
+	// its leaves. Buckets write disjoint ranges of w.
 	w := make([]block.Block, cfg.N)
-	for i := 0; i < cfg.T; i++ {
-		leaves, err := spcot.Send(conn, pool, h, p, cfg.Leaves)
-		if err != nil {
-			return nil, fmt.Errorf("mpcot tree %d: %w", i, err)
-		}
+	trees := make([]*spcot.SenderTree, cfg.T)
+	parallel.Each(workers, cfg.T, func(i int) {
+		trees[i] = spcot.ExpandSender(p, cfg.Leaves, seeds[i])
 		lo, hi := cfg.bucketSpan(i)
 		if hi > lo {
-			copy(w[lo:hi], leaves[:hi-lo])
+			copy(w[lo:hi], trees[i].Leaves()[:hi-lo])
+		}
+		// The flights need only sums/gadget/xor; holding every tree's
+		// leaves until phase 2 finishes would double peak memory.
+		trees[i].ReleaseLeaves()
+	})
+	// Phase 2 (wire, sequential): the puncturing flights consume pool
+	// correlations in bucket order — the cursor is part of the
+	// transcript, so this phase never reorders.
+	for i := 0; i < cfg.T; i++ {
+		if err := trees[i].SendFlights(conn, pool, h); err != nil {
+			return nil, fmt.Errorf("mpcot tree %d: %w", i, err)
 		}
 	}
 	return w, nil
@@ -110,6 +176,15 @@ func Send(conn transport.Conn, pool *cot.SenderPool, h *aesprg.Hash, p prg.PRG, 
 // Alphas beyond N are allowed (their tree output is discarded) but each
 // alphas[i] must fall inside bucket i.
 func Receive(conn transport.Conn, pool *cot.ReceiverPool, h *aesprg.Hash, p prg.PRG, cfg Config, alphas []int) ([]block.Block, error) {
+	return ReceiveWorkers(conn, pool, h, p, cfg, alphas, 1)
+}
+
+// ReceiveWorkers is the two-phase receiver: phase one runs the
+// puncturing flights strictly sequentially in bucket order (matching
+// SendSeeded's wire phase); phase two reconstructs the t punctured
+// trees locally, concurrently across up to `workers` goroutines. The
+// wire transcript is byte-identical for every worker count.
+func ReceiveWorkers(conn transport.Conn, pool *cot.ReceiverPool, h *aesprg.Hash, p prg.PRG, cfg Config, alphas []int, workers int) ([]block.Block, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -124,17 +199,25 @@ func Receive(conn transport.Conn, pool *cot.ReceiverPool, h *aesprg.Hash, p prg.
 			return nil, fmt.Errorf("mpcot: alpha %d outside bucket %d", a, i)
 		}
 	}
-	v := make([]block.Block, cfg.N)
+	// Phase 1 (wire, sequential).
+	flights := make([]*spcot.ReceiverFlights, cfg.T)
 	for i := 0; i < cfg.T; i++ {
 		lo := i * cfg.Leaves
-		leaves, err := spcot.Receive(conn, pool, h, p, cfg.Leaves, alphas[i]-lo)
+		f, err := spcot.ReceiveFlights(conn, pool, h, p, cfg.Leaves, alphas[i]-lo)
 		if err != nil {
 			return nil, fmt.Errorf("mpcot tree %d: %w", i, err)
 		}
-		_, hi := cfg.bucketSpan(i)
-		if hi > lo {
-			copy(v[lo:hi], leaves)
-		}
+		flights[i] = f
 	}
+	// Phase 2 (local, parallel): reconstruct every bucket's punctured
+	// tree. Buckets write disjoint ranges of v.
+	v := make([]block.Block, cfg.N)
+	parallel.Each(workers, cfg.T, func(i int) {
+		leaves := flights[i].Reconstruct(p)
+		lo, hi := cfg.bucketSpan(i)
+		if hi > lo {
+			copy(v[lo:hi], leaves[:hi-lo])
+		}
+	})
 	return v, nil
 }

@@ -64,6 +64,55 @@ func TestExactCover(t *testing.T) {
 	checkMulti(t, delta, w, v, alphas)
 }
 
+// TestWorkersMatchSequential: the two-phase SendSeeded/ReceiveWorkers
+// path produces the same w/v as the sequential wrappers for any worker
+// count, given identical seeds, alphas, and pool contents.
+func TestWorkersMatchSequential(t *testing.T) {
+	cfg := Config{N: 100, Leaves: 16, T: 8}
+	p := prg.New(prg.ChaCha8, 4)
+	h := aesprg.NewHash()
+	alphas := []int{3, 16, 40, 63, 64, 86, 96, 112}
+	seeds := make([]block.Block, cfg.T)
+	for i := range seeds {
+		seeds[i] = block.New(uint64(i)+1, 77)
+	}
+	delta := block.New(5, 9)
+	runOnce := func(workers int) ([]block.Block, []block.Block) {
+		t.Helper()
+		sp, rp, err := cot.PoolsFromStream(aesprg.NewStream(block.New(8, 8)), delta, cfg.COTBudget())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := transport.Pipe()
+		type sres struct {
+			w   []block.Block
+			err error
+		}
+		ch := make(chan sres, 1)
+		go func() {
+			w, err := SendSeeded(a, sp, h, p, cfg, seeds, workers)
+			ch <- sres{w, err}
+		}()
+		v, err := ReceiveWorkers(b, rp, h, p, cfg, alphas, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := <-ch
+		if s.err != nil {
+			t.Fatal(s.err)
+		}
+		return s.w, v
+	}
+	wantW, wantV := runOnce(1)
+	checkMulti(t, delta, wantW, wantV, []int{3, 16, 40, 63, 64, 86, 96})
+	for _, workers := range []int{2, 4, 16} {
+		gotW, gotV := runOnce(workers)
+		if !block.Equal(gotW, wantW) || !block.Equal(gotV, wantV) {
+			t.Fatalf("workers=%d: outputs differ from sequential", workers)
+		}
+	}
+}
+
 func TestTruncatedLastBucket(t *testing.T) {
 	// n not a multiple of ℓ: the last tree is truncated, and an alpha in
 	// the discarded tail is allowed (it contributes no noise inside n).

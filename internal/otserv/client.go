@@ -87,6 +87,9 @@ type SessionConfig struct {
 	Depth int
 	// LowWater overrides the session pool's refill trigger.
 	LowWater int
+	// Workers requests an Extend worker-goroutine cap for the session's
+	// refills (0 = server default; the server clamps to its own cap).
+	Workers int
 }
 
 // Session is a handle on one dispenser session.
@@ -114,6 +117,7 @@ func (c *Client) NewSession(cfg SessionConfig) (*Session, error) {
 		BinaryAES: cfg.BinaryAES,
 		Depth:     cfg.Depth,
 		LowWater:  cfg.LowWater,
+		Workers:   cfg.Workers,
 	}
 	if err := c.roundTripJSON(opHello, req, &resp); err != nil {
 		return nil, err

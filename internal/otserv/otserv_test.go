@@ -119,6 +119,40 @@ func TestConcurrentSessions(t *testing.T) {
 	}
 }
 
+// TestWorkersClampAndSession: HELLO worker requests clamp to the
+// server cap, and a multi-worker session's correlations verify like a
+// sequential one.
+func TestWorkersClampAndSession(t *testing.T) {
+	addr, srv := startServer(t, Config{Workers: 2})
+	if got := srv.sessionWorkers(0); got != 2 {
+		t.Fatalf("default workers = %d, want server cap 2", got)
+	}
+	if got := srv.sessionWorkers(1); got != 1 {
+		t.Fatalf("requested 1 worker, got %d", got)
+	}
+	if got := srv.sessionWorkers(64); got != 2 {
+		t.Fatalf("oversized request = %d, want clamp to 2", got)
+	}
+	c := dial(t, addr)
+	sess, err := c.NewSession(SessionConfig{Params: "small", Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := sess.SenderCOTs(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits, y, err := sess.ReceiverCOTs(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, ok := sess.Delta()
+	if !ok {
+		t.Fatal("creator session must know delta")
+	}
+	verify(t, delta, z, bits, y)
+}
+
 func TestAttachSplitsHalves(t *testing.T) {
 	addr, _ := startServer(t, Config{})
 	creator := dial(t, addr)

@@ -68,6 +68,10 @@ type helloReq struct {
 	BinaryAES bool   `json:"binary_aes,omitempty"`
 	Depth     int    `json:"depth,omitempty"` // prefetch batches; 0 = server default
 	LowWater  int    `json:"low_water,omitempty"`
+	// Workers is the session's Extend worker-goroutine cap; 0 selects
+	// the server default (Config.Workers). Requests are clamped to the
+	// server's cap so one greedy session cannot oversubscribe the host.
+	Workers int `json:"workers,omitempty"`
 }
 
 type helloResp struct {

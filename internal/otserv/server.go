@@ -13,6 +13,7 @@ import (
 
 	"ironman/internal/block"
 	"ironman/internal/ferret"
+	"ironman/internal/parallel"
 	"ironman/internal/pool"
 	"ironman/internal/prg"
 	"ironman/internal/transport"
@@ -33,6 +34,13 @@ type Config struct {
 	MaxDepth int
 	// MaxSessions bounds concurrently open sessions. Default 64.
 	MaxSessions int
+	// Workers is the per-session Extend worker cap (the multicore
+	// pipeline knob, see ferret.Options.Workers) applied when a HELLO
+	// requests none, and the clamp for HELLOs that request more. 0
+	// selects runtime.GOMAXPROCS — refills of a single busy session
+	// then use the whole host, which is the right default for a
+	// dispenser whose sessions are usually drained one at a time.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -291,6 +299,16 @@ func (s *Server) handleHello(body []byte, owned map[uint64]*attachment) []byte {
 	})
 }
 
+// sessionWorkers resolves a HELLO's Extend worker request against the
+// server cap: 0 inherits the cap, larger requests clamp to it.
+func (s *Server) sessionWorkers(requested int) int {
+	cap := parallel.Workers(s.cfg.Workers)
+	if requested <= 0 || requested > cap {
+		return cap
+	}
+	return requested
+}
+
 // openSession builds the in-process dealt ferret pair and its pool.
 func (s *Server) openSession(name string, params ferret.Params, req helloReq, depth int) (*session, error) {
 	var deltaBytes [block.Size]byte
@@ -307,7 +325,7 @@ func (s *Server) openSession(name string, params ferret.Params, req helloReq, de
 		return nil, err
 	}
 
-	var fo ferret.Options
+	fo := ferret.Options{Workers: s.sessionWorkers(req.Workers)}
 	if req.BinaryAES {
 		fo.PRG = prg.New(prg.AES, 2)
 	}

@@ -1,0 +1,70 @@
+// Package parallel provides the worker-sharding primitives behind the
+// multicore Extend pipeline: contiguous-range sharding for row-parallel
+// kernels (the software analog of the paper's rank-parallel LPN encode)
+// and per-item fan-out for independent tree expansions.
+//
+// Both helpers run the unit of work inline when a single worker (or a
+// single item) makes goroutine fan-out pure overhead, so a Workers=1
+// pipeline is exactly the sequential code path.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count knob: values <= 0 select
+// runtime.GOMAXPROCS, anything else is returned unchanged.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// Shard splits [0, n) into at most `workers` contiguous half-open
+// ranges and runs f(lo, hi) on each, one goroutine per range, waiting
+// for all of them. Ranges differ in size by at most one element, so
+// regular workloads (LPN rows, hash batches) stay balanced. With
+// workers <= 1 or n <= 1 the single range runs inline on the caller.
+func Shard(workers, n int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		f(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	chunk, rem := n/w, n%w
+	lo := 0
+	for i := 0; i < w; i++ {
+		hi := lo + chunk
+		if i < rem {
+			hi++
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// Each runs f(i) for every i in [0, n) across at most `workers`
+// goroutines, assigning items to workers in contiguous ranges (worker
+// goroutines never contend on a shared index). Used for the t
+// independent GGM tree expansions of one MPCOT execution.
+func Each(workers, n int, f func(i int)) {
+	Shard(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(i)
+		}
+	})
+}

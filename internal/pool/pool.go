@@ -22,6 +22,13 @@
 // The ready buffer is compacted as it drains: unlike the seed's
 // `buf = buf[n:]` pattern, a consumed prefix never pins the backing
 // array once it dominates the buffer.
+//
+// Refill parallelism lives inside the source, not the pool: a source
+// built from a ferret endpoint with Options.Workers > 1 shards each
+// Extend's local phases across cores, so one background refill
+// goroutine is enough to saturate the host — the pool never runs two
+// refills of one stream concurrently (protocol iterations are
+// inherently sequential on a conn).
 package pool
 
 import (

@@ -305,6 +305,188 @@ func TestBlockHelpers(t *testing.T) {
 	}
 }
 
+// TestBlockChunkingBoundary exercises the chunked block framing around
+// the per-message cap: under it (one frame), at and past it (full
+// frames plus the strictly-short terminator that makes batch-size
+// disagreements detectable). Batches past MaxMessage used to fail
+// mid-protocol, desyncing the peer; lowering chunkBlocks lets the
+// regression run without 64 MiB allocations.
+func TestBlockChunkingBoundary(t *testing.T) {
+	saved := chunkBlocks
+	chunkBlocks = 8
+	defer func() { chunkBlocks = saved }()
+
+	for _, tc := range []struct {
+		n    int
+		msgs int
+	}{
+		{0, 1}, {1, 1}, {7, 1}, {8, 2}, {9, 2}, {16, 3}, {17, 3}, {29, 4},
+	} {
+		a, b := Pipe()
+		blocks := make([]block.Block, tc.n)
+		for i := range blocks {
+			blocks[i] = block.New(uint64(i), uint64(i)*3+1)
+		}
+		base := a.Stats()
+		errCh := make(chan error, 1)
+		go func() { errCh <- SendBlocks(a, blocks) }()
+		got, err := RecvBlocks(b, tc.n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		if err := <-errCh; err != nil {
+			t.Fatalf("n=%d: send: %v", tc.n, err)
+		}
+		if !block.Equal(got, blocks) {
+			t.Fatalf("n=%d: blocks mismatch", tc.n)
+		}
+		st := a.Stats()
+		if sent := st.MsgsSent - base.MsgsSent; sent != tc.msgs {
+			t.Fatalf("n=%d: %d frames, want %d", tc.n, sent, tc.msgs)
+		}
+		// Chunking must not inflate the round count: consecutive
+		// frames in one direction are one flight.
+		if flights := st.Flights - base.Flights; flights != 1 {
+			t.Fatalf("n=%d: %d flights, want 1", tc.n, flights)
+		}
+	}
+}
+
+// TestBlockChunkingOverTCP round-trips a multi-frame batch through the
+// real length-prefixed TCP framing (the layer whose MaxMessage limit
+// made oversized batches fail before chunking).
+func TestBlockChunkingOverTCP(t *testing.T) {
+	saved := chunkBlocks
+	chunkBlocks = 1024
+	defer func() { chunkBlocks = saved }()
+
+	client, server := tcpPair(t)
+	defer client.Close()
+	defer server.Close()
+	const n = 5*1024 + 37 // 6 frames
+	blocks := make([]block.Block, n)
+	for i := range blocks {
+		blocks[i] = block.New(uint64(i), ^uint64(i))
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- SendBlocks(client, blocks) }()
+	got, err := RecvBlocks(server, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if !block.Equal(got, blocks) {
+		t.Fatal("blocks mismatch over TCP chunked framing")
+	}
+}
+
+// TestBlockChunkingLengthMismatch: a chunked receive fails loudly when
+// the sender's batch size disagrees with the receiver's — including
+// disagreements that are an exact multiple of the chunk size, which
+// only the terminator frame can expose.
+func TestBlockChunkingLengthMismatch(t *testing.T) {
+	saved := chunkBlocks
+	chunkBlocks = 4
+	defer func() { chunkBlocks = saved }()
+
+	for _, tc := range []struct{ sent, expected int }{
+		{6, 9},
+		{12, 8},  // multiple-of-chunk disagreement: terminator mismatch
+		{8, 12},  // receiver expects more full frames than were sent
+		{4, 3},   // sender chunked, receiver on the single-frame path
+		{3, 4},   // sender single-frame, receiver chunked
+		{8, 0x7}, // terminator vs full-frame confusion
+	} {
+		a, b := Pipe()
+		go func() { _ = SendBlocks(a, make([]block.Block, tc.sent)) }()
+		if _, err := RecvBlocks(b, tc.expected); err == nil {
+			t.Fatalf("sent %d, expected %d: mismatch must error", tc.sent, tc.expected)
+		}
+	}
+}
+
+// TestByteChunkingBoundary: the raw-byte framing behind the cot
+// ciphertext frames chunks like the block framing.
+func TestByteChunkingBoundary(t *testing.T) {
+	saved := chunkBytes
+	chunkBytes = 16
+	defer func() { chunkBytes = saved }()
+
+	for _, tc := range []struct {
+		n    int
+		msgs int
+	}{
+		{0, 1}, {15, 1}, {16, 2}, {17, 2}, {32, 3}, {45, 3},
+	} {
+		a, b := Pipe()
+		buf := make([]byte, tc.n)
+		for i := range buf {
+			buf[i] = byte(i*7 + 3)
+		}
+		base := a.Stats()
+		errCh := make(chan error, 1)
+		go func() { errCh <- SendBytes(a, buf) }()
+		got, err := RecvBytes(b, tc.n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		if err := <-errCh; err != nil {
+			t.Fatalf("n=%d: send: %v", tc.n, err)
+		}
+		if !reflect.DeepEqual(got, buf) {
+			t.Fatalf("n=%d: bytes mismatch", tc.n)
+		}
+		if sent := a.Stats().MsgsSent - base.MsgsSent; sent != tc.msgs {
+			t.Fatalf("n=%d: %d frames, want %d", tc.n, sent, tc.msgs)
+		}
+	}
+}
+
+// TestWordChunkingBoundary: the word framing chunks like the block
+// framing (arith reveals/Beaver opens are the >MaxMessage users).
+func TestWordChunkingBoundary(t *testing.T) {
+	saved := chunkWords
+	chunkWords = 8
+	defer func() { chunkWords = saved }()
+
+	for _, tc := range []struct {
+		n    int
+		msgs int
+	}{
+		{0, 1}, {7, 1}, {8, 2}, {9, 2}, {16, 3}, {21, 3},
+	} {
+		a, b := Pipe()
+		words := make([]uint64, tc.n)
+		for i := range words {
+			words[i] = uint64(i)*0x9e3779b9 + 1
+		}
+		base := a.Stats()
+		errCh := make(chan error, 1)
+		go func() { errCh <- SendWords(a, words) }()
+		got, err := RecvWords(b, tc.n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		if err := <-errCh; err != nil {
+			t.Fatalf("n=%d: send: %v", tc.n, err)
+		}
+		if !reflect.DeepEqual(got, words) {
+			t.Fatalf("n=%d: words mismatch", tc.n)
+		}
+		if sent := a.Stats().MsgsSent - base.MsgsSent; sent != tc.msgs {
+			t.Fatalf("n=%d: %d frames, want %d", tc.n, sent, tc.msgs)
+		}
+	}
+	// Mismatched batch sizes still fail loudly.
+	a, b := Pipe()
+	go func() { _ = SendWords(a, make([]uint64, 10)) }()
+	if _, err := RecvWords(b, 17); err == nil {
+		t.Fatal("expected chunk length error")
+	}
+}
+
 func TestBitHelpers(t *testing.T) {
 	a, b := Pipe()
 	bits := []bool{true, false, true, true, false, false, false, true, true}

@@ -16,8 +16,11 @@
 package ironman
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"reflect"
+	"sync/atomic"
 	"time"
 
 	"ironman/internal/aesprg"
@@ -26,6 +29,7 @@ import (
 	"ironman/internal/cot"
 	"ironman/internal/ferret"
 	"ironman/internal/gmw"
+	"ironman/internal/parallel"
 	"ironman/internal/pool"
 	"ironman/internal/prg"
 	"ironman/internal/transport"
@@ -60,14 +64,24 @@ type Options struct {
 	// FourAryChaCha selects the Ironman tree construction (default);
 	// set to false for the classic binary AES construction.
 	FourAryChaCha bool
+	// Workers caps the goroutines the Extend hot path's local phases
+	// use — the rank-parallel LPN encode, concurrent GGM tree
+	// expansion, and the batched correlation-robust hash of the
+	// OT-conversion helpers. 0 — the default — selects
+	// runtime.GOMAXPROCS; 1 is the strictly sequential path. The wire
+	// transcript is byte-identical for every value, so the two peers
+	// may use different worker counts.
+	Workers int
 	// Prefetch is the number of Extend batches a background worker
 	// keeps generated ahead of demand (see internal/pool). 0 — the
 	// default — draws synchronously on the calling goroutine.
 	//
 	// With Prefetch > 0 protocol iterations run on a background
 	// goroutine, so the conn must be dedicated to correlation
-	// generation: do not run SendChosen/ReceiveChosen on the same conn
-	// while the endpoint is open. Endpoints from NewDealtPair share
+	// generation: SendChosen/ReceiveChosen on the same conn while the
+	// endpoint is open would interleave frames with an in-flight
+	// iteration, and are rejected with ErrConnBusy (use a second conn
+	// for the chosen-OT exchange). Endpoints from NewDealtPair share
 	// one lockstep generator, so any draw pattern is safe. Network
 	// endpoints (NewSender/NewReceiver) prefetch independently: give
 	// both peers the same Prefetch, and note that a single draw larger
@@ -94,7 +108,7 @@ type Options struct {
 }
 
 func (o Options) ferretOpts() ferret.Options {
-	var fo ferret.Options
+	fo := ferret.Options{Workers: o.Workers}
 	if !o.FourAryChaCha {
 		fo.PRG = prg.New(prg.AES, 2)
 	}
@@ -175,21 +189,41 @@ type Sender struct {
 	p    senderDrawer
 	h    *aesprg.Hash
 	otct uint64
+	// conn is the endpoint's protocol conn; busy marks it off-limits to
+	// chosen-OT calls while a prefetch worker puts traffic on it
+	// (atomic: Close clears it concurrently with chosen-OT calls).
+	// peerConn is additionally set on dealt-pair endpoints, whose
+	// shared lockstep generator owns BOTH pipe ends — the pair then
+	// shares one busy flag, since closing either half stops the
+	// generator for both.
+	conn     Conn
+	peerConn Conn
+	busy     *atomic.Bool
+	workers  int
 }
 
 // Receiver holds choice bits and r_b blocks.
 type Receiver struct {
-	f    *ferret.Receiver
-	p    receiverDrawer
-	h    *aesprg.Hash
-	otct uint64
+	f        *ferret.Receiver
+	p        receiverDrawer
+	h        *aesprg.Hash
+	otct     uint64
+	conn     Conn
+	peerConn Conn
+	busy     *atomic.Bool
+	workers  int
 }
 
-func newSender(f *ferret.Sender, opts Options) *Sender {
-	return &Sender{f: f, p: pool.NewSender(f.Extend, opts.poolCfg()), h: aesprg.NewHash()}
+func newSender(f *ferret.Sender, conn Conn, opts Options) *Sender {
+	s := &Sender{
+		f: f, p: pool.NewSender(f.Extend, opts.poolCfg()), h: aesprg.NewHash(),
+		conn: conn, busy: new(atomic.Bool), workers: opts.Workers,
+	}
+	s.busy.Store(opts.Prefetch > 0)
+	return s
 }
 
-func newReceiver(f *ferret.Receiver, opts Options) *Receiver {
+func newReceiver(f *ferret.Receiver, conn Conn, opts Options) *Receiver {
 	src := func() ([]bool, []Block, error) {
 		out, err := f.Extend()
 		if err != nil {
@@ -197,7 +231,12 @@ func newReceiver(f *ferret.Receiver, opts Options) *Receiver {
 		}
 		return out.Bits, out.Blocks, nil
 	}
-	return &Receiver{f: f, p: pool.NewReceiver(src, opts.poolCfg()), h: aesprg.NewHash()}
+	r := &Receiver{
+		f: f, p: pool.NewReceiver(src, opts.poolCfg()), h: aesprg.NewHash(),
+		conn: conn, busy: new(atomic.Bool), workers: opts.Workers,
+	}
+	r.busy.Store(opts.Prefetch > 0)
+	return r
 }
 
 // NewSender initializes the sending endpoint (runs base OTs and IKNP
@@ -208,7 +247,7 @@ func NewSender(conn Conn, delta Block, params Params, opts Options) (*Sender, er
 	if err != nil {
 		return nil, err
 	}
-	return newSender(f, opts), nil
+	return newSender(f, conn, opts), nil
 }
 
 // NewReceiver initializes the receiving endpoint.
@@ -217,7 +256,7 @@ func NewReceiver(conn Conn, params Params, opts Options) (*Receiver, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newReceiver(f, opts), nil
+	return newReceiver(f, conn, opts), nil
 }
 
 // lockstepSource adapts ferret.ExtendLockstep to the pool.Dealt
@@ -250,11 +289,17 @@ func NewDealtPair(connS, connR Conn, delta Block, params Params, opts Options) (
 	}
 	if opts.Prefetch > 0 {
 		d := pool.NewDealt(lockstepSource(fs, fr), opts.poolCfg())
-		s := &Sender{f: fs, p: dealtSenderHalf{d}, h: aesprg.NewHash()}
-		r := &Receiver{f: fr, p: dealtReceiverHalf{d}, h: aesprg.NewHash()}
+		// One flag for the pair: closing either half stops the shared
+		// generator, so both conns become idle together.
+		busy := new(atomic.Bool)
+		busy.Store(true)
+		s := &Sender{f: fs, p: dealtSenderHalf{d}, h: aesprg.NewHash(),
+			conn: connS, peerConn: connR, busy: busy, workers: opts.Workers}
+		r := &Receiver{f: fr, p: dealtReceiverHalf{d}, h: aesprg.NewHash(),
+			conn: connR, peerConn: connS, busy: busy, workers: opts.Workers}
 		return s, r, nil
 	}
-	return newSender(fs, opts), newReceiver(fr, opts), nil
+	return newSender(fs, connS, opts), newReceiver(fr, connR, opts), nil
 }
 
 // RandomDelta samples a fresh global correlation.
@@ -284,7 +329,14 @@ func (s *Sender) PoolStats() PoolStats { return poolStats(s.p.Stats()) }
 // done. It does not close the conn; for network endpoints close the
 // conn FIRST when a background iteration may be in flight, or Close
 // waits for an iteration the stopped peer will never answer.
-func (s *Sender) Close() error { return s.p.Close() }
+func (s *Sender) Close() error {
+	err := s.p.Close()
+	// The worker is gone; the protocol conn is no longer off-limits
+	// (chosen-OT calls now fail with the pool's closed error instead
+	// of a stale ErrConnBusy).
+	s.busy.Store(false)
+	return err
+}
 
 // COTs returns n correlations: choice bits and r_b blocks.
 func (r *Receiver) COTs(n int) ([]bool, []Block, error) { return r.p.COTs(n) }
@@ -295,22 +347,65 @@ func (r *Receiver) PoolStats() PoolStats { return poolStats(r.p.Stats()) }
 // Close stops the endpoint's prefetch worker (a no-op for synchronous
 // endpoints); the same shared-generator and conn-first caveats as
 // Sender.Close apply.
-func (r *Receiver) Close() error { return r.p.Close() }
+func (r *Receiver) Close() error {
+	err := r.p.Close()
+	r.busy.Store(false)
+	return err
+}
+
+// ErrConnBusy is returned by chosen-OT calls handed the conn of an
+// endpoint whose prefetch worker is generating correlations on it: a
+// background Extend iteration would interleave its frames with the
+// chosen-OT exchange and corrupt both streams. Run chosen OTs on a
+// second conn (or open the endpoint with Prefetch == 0). The guard
+// compares conn identity, so it cannot see through wrappers — handing
+// it the busy conn inside an adapter still corrupts the stream.
+var ErrConnBusy = errors.New("ironman: conn carries background prefetch traffic; use a dedicated conn for chosen OTs")
+
+// sameConn reports whether two Conn interface values are the same
+// endpoint, without panicking when a caller-supplied adapter has an
+// uncomparable dynamic type (such a value can never be one of this
+// package's own conns, which are all pointers).
+func sameConn(a, b Conn) bool {
+	if t := reflect.TypeOf(a); t == nil || !t.Comparable() {
+		return false
+	}
+	return a == b
+}
+
+// hashShardMin is the batch size below which the conversion hash runs
+// inline: fanning goroutines out costs more than a few thousand
+// fixed-key AES calls.
+const hashShardMin = 4096
+
+// hashWorkers resolves the worker count for an n-instance hash batch.
+func hashWorkers(workers, n int) int {
+	if n < hashShardMin {
+		return 1
+	}
+	return workers
+}
 
 // RandomOTs converts n COTs into random OTs: the sender gets message
 // pairs (H(r0), H(r1)); the matching Receiver.RandomOTs yields
-// (choice, H(r_choice)). Figure 2's online conversion.
+// (choice, H(r_choice)). Figure 2's online conversion. Large batches
+// shard the correlation-robust hash over worker-local chunks
+// (Options.Workers).
 func (s *Sender) RandomOTs(n int) ([][2]Block, error) {
 	r0, err := s.COTs(n)
 	if err != nil {
 		return nil, err
 	}
 	out := make([][2]Block, n)
-	for i, r := range r0 {
-		out[i][0] = s.h.Sum(r, s.otct)
-		out[i][1] = s.h.Sum(r.Xor(s.f.Delta), s.otct)
-		s.otct++
-	}
+	base := s.otct
+	s.otct += uint64(n)
+	parallel.Shard(hashWorkers(s.workers, n), n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			tweak := base + uint64(i)
+			out[i][0] = s.h.Sum(r0[i], tweak)
+			out[i][1] = s.h.Sum(r0[i].Xor(s.f.Delta), tweak)
+		}
+	})
 	return out, nil
 }
 
@@ -321,16 +416,24 @@ func (r *Receiver) RandomOTs(n int) ([]bool, []Block, error) {
 		return nil, nil, err
 	}
 	out := make([]Block, n)
-	for i, b := range blks {
-		out[i] = r.h.Sum(b, r.otct)
-		r.otct++
-	}
+	base := r.otct
+	r.otct += uint64(n)
+	parallel.Shard(hashWorkers(r.workers, n), n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = r.h.Sum(blks[i], base+uint64(i))
+		}
+	})
 	return bits, out, nil
 }
 
 // SendChosen runs chosen-message 1-of-2 OTs for the given pairs,
-// consuming one fresh COT each (peer: ReceiveChosen).
+// consuming one fresh COT each (peer: ReceiveChosen). While the
+// endpoint prefetches (Options.Prefetch > 0) its protocol conn is
+// rejected with ErrConnBusy — background iterations own that stream.
 func (s *Sender) SendChosen(conn Conn, msgs [][2]Block) error {
+	if s.busy.Load() && (sameConn(conn, s.conn) || sameConn(conn, s.peerConn)) {
+		return ErrConnBusy
+	}
 	pairs, err := s.RandomOTs(len(msgs))
 	if err != nil {
 		return err
@@ -352,8 +455,12 @@ func (s *Sender) SendChosen(conn Conn, msgs [][2]Block) error {
 	return transport.SendBlocks(conn, cts)
 }
 
-// ReceiveChosen selects one message per pair.
+// ReceiveChosen selects one message per pair. The same ErrConnBusy
+// guard as SendChosen applies to prefetching endpoints.
 func (r *Receiver) ReceiveChosen(conn Conn, choices []bool) ([]Block, error) {
+	if r.busy.Load() && (sameConn(conn, r.conn) || sameConn(conn, r.peerConn)) {
+		return nil, ErrConnBusy
+	}
 	bits, keys, err := r.RandomOTs(len(choices))
 	if err != nil {
 		return nil, err

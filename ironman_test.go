@@ -158,6 +158,130 @@ func TestPrefetchOption(t *testing.T) {
 	}
 }
 
+// TestChosenOTRejectsBusyConn: chosen-OT calls on the conn a prefetch
+// worker is generating on must fail with ErrConnBusy instead of
+// silently interleaving frames with the background iteration. A second
+// conn stays usable, and synchronous endpoints (Prefetch == 0) accept
+// their protocol conn as before.
+func TestChosenOTRejectsBusyConn(t *testing.T) {
+	a, b := Pipe()
+	delta, err := RandomDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Prefetch = 2
+	s, r, err := NewDealtPair(a, b, delta, smallParams(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	defer r.Close()
+	defer a.Close()
+	defer b.Close()
+	if err := s.SendChosen(a, make([][2]Block, 1)); err != ErrConnBusy {
+		t.Fatalf("SendChosen on busy conn: err = %v, want ErrConnBusy", err)
+	}
+	if _, err := r.ReceiveChosen(b, make([]bool, 1)); err != ErrConnBusy {
+		t.Fatalf("ReceiveChosen on busy conn: err = %v, want ErrConnBusy", err)
+	}
+	// A dealt pair's lockstep generator owns BOTH pipe ends, so the
+	// peer's conn is just as off-limits.
+	if err := s.SendChosen(b, make([][2]Block, 1)); err != ErrConnBusy {
+		t.Fatalf("SendChosen on peer conn: err = %v, want ErrConnBusy", err)
+	}
+	if _, err := r.ReceiveChosen(a, make([]bool, 1)); err != ErrConnBusy {
+		t.Fatalf("ReceiveChosen on peer conn: err = %v, want ErrConnBusy", err)
+	}
+	// A dedicated conn pair carries the chosen-OT exchange fine while
+	// prefetching continues on the protocol conns.
+	appS, appR := Pipe()
+	msgs := [][2]Block{{{Lo: 1}, {Lo: 2}}}
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.SendChosen(appS, msgs) }()
+	got, err := r.ReceiveChosen(appR, []bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != msgs[0][1] {
+		t.Fatal("chosen OT over dedicated conn wrong")
+	}
+}
+
+// TestWorkersOptionEndToEnd: a Workers > 1 pair yields correlations
+// that verify and convert exactly like the sequential path.
+func TestWorkersOptionEndToEnd(t *testing.T) {
+	a, b := Pipe()
+	delta, err := RandomDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Workers = 4
+	s, r, err := NewDealtPair(a, b, delta, smallParams(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := smallParams().Usable() + 50 // cross an iteration boundary
+	type sres struct {
+		z   []Block
+		err error
+	}
+	ch := make(chan sres, 1)
+	go func() {
+		z, err := s.COTs(n)
+		ch <- sres{z, err}
+	}()
+	bits, blocks, err := r.COTs(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := <-ch
+	if sr.err != nil {
+		t.Fatal(sr.err)
+	}
+	if err := VerifyCOTs(delta, sr.z, bits, blocks); err != nil {
+		t.Fatal(err)
+	}
+	// The sharded hash conversion must agree across the two parties.
+	// The batch exceeds hashShardMin so the parallel.Shard branch (not
+	// the small-batch inline loop) is what runs — and runs under -race.
+	const otBatch = hashShardMin + 512
+	pch := make(chan sres, 1)
+	go func() {
+		p, err := s.RandomOTs(otBatch)
+		if err != nil {
+			pch <- sres{nil, err}
+			return
+		}
+		flat := make([]Block, 0, 2*otBatch)
+		for _, pair := range p {
+			flat = append(flat, pair[0], pair[1])
+		}
+		pch <- sres{flat, nil}
+	}()
+	rb, keys, err := r.RandomOTs(otBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := <-pch
+	if pr.err != nil {
+		t.Fatal(pr.err)
+	}
+	for i := 0; i < otBatch; i++ {
+		want := pr.z[2*i]
+		if rb[i] {
+			want = pr.z[2*i+1]
+		}
+		if keys[i] != want {
+			t.Fatalf("random OT %d: sharded hash mismatch", i)
+		}
+	}
+}
+
 func TestParamSets(t *testing.T) {
 	sets := ParamSets()
 	if len(sets) != 5 {

@@ -7,8 +7,9 @@
 #
 # Set BENCH_JSON=path to archive the ironman-bench metrics (gmw: AND
 # gates/sec, bytes per AND, wire reduction; arith: triples/sec, bytes
-# per triple, matmul GFLOP-equivalent) as a BENCH_*.json trajectory
-# point instead of printing them.
+# per triple, matmul GFLOP-equivalent; extend: the multicore Extend
+# worker-scaling curve, COT/s and bytes per COT at workers=1,2,4,8) as
+# a BENCH_*.json trajectory point instead of printing them.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -36,14 +37,15 @@ ls "$bindir"
 echo "== go test -race (includes the gmw + arith engines and the TCP pipeline) =="
 go test -race ./...
 
-echo "== engine metrics (ironman-bench -exp gmw,arith -json) =="
-# One document carries the gmw metrics (AND/s, B/AND, wire reduction)
-# and the arith metrics (triples/s, B/triple, matmul GFLOP-equiv).
+echo "== engine metrics (ironman-bench -exp gmw,arith,extend -json) =="
+# One document carries the gmw metrics (AND/s, B/AND, wire reduction),
+# the arith metrics (triples/s, B/triple, matmul GFLOP-equiv), and the
+# extend worker-scaling curve (COT/s per worker count, constant B/COT).
 if [ -n "${BENCH_JSON:-}" ]; then
-    go run ./cmd/ironman-bench -quick -exp gmw,arith -json > "$BENCH_JSON"
+    go run ./cmd/ironman-bench -quick -exp gmw,arith,extend -json > "$BENCH_JSON"
     echo "archived to $BENCH_JSON"
 else
-    go run ./cmd/ironman-bench -quick -exp gmw,arith -json
+    go run ./cmd/ironman-bench -quick -exp gmw,arith,extend -json
 fi
 
 echo "CI OK"
