@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"ironman/internal/experiments"
+	"ironman/internal/obs"
 )
 
 // experiment pairs a machine-readable result with its rendered view.
@@ -100,6 +101,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sample sizes")
 	exp := flag.String("exp", "all", "experiment(s) to run, comma-separated")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of rendered tables")
+	traceOut := flag.String("trace", "", "write phase spans from protocol benches as Chrome trace-event JSON (open in chrome://tracing or Perfetto)")
 	flag.Parse()
 
 	sel := make(map[string]bool)
@@ -121,6 +123,9 @@ func main() {
 		}
 	}
 	o := experiments.Options{Quick: *quick}
+	if *traceOut != "" {
+		o.Trace = obs.NewTracer()
+	}
 	type result struct {
 		Seconds float64 `json:"seconds"`
 		Data    any     `json:"data"`
@@ -144,6 +149,13 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	if o.Trace != nil {
+		if err := o.Trace.WriteFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events -> %s\n", len(o.Trace.Events()), *traceOut)
 	}
 	if *jsonOut {
 		doc := map[string]any{

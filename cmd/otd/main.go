@@ -8,6 +8,11 @@
 // daemon's counters with:
 //
 //	otd -stats -connect host:7117
+//
+// An opt-in admin listener serves Prometheus metrics, a JSON session
+// dump, and pprof profiles (keep it on loopback or a scrape network):
+//
+//	otd -listen :7117 -admin 127.0.0.1:9090
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,6 +38,7 @@ func main() {
 	workers := flag.Int("workers", 0, "per-session Extend worker goroutines (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "dump a running daemon's stats and exit")
 	connect := flag.String("connect", "", "daemon address for -stats")
+	admin := flag.String("admin", "", "admin HTTP address for /metrics, /healthz, /sessions, pprof (e.g. 127.0.0.1:9090)")
 	flag.Parse()
 
 	if *stats {
@@ -55,6 +62,19 @@ func main() {
 	}
 	log.Printf("otd: dispensing on %s (params %s, prefetch %d, max %d sessions)",
 		ln.Addr(), *params, *prefetch, *maxSessions)
+
+	if *admin != "" {
+		aln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("otd: admin endpoint on http://%s (/metrics /healthz /sessions /debug/pprof)", aln.Addr())
+		go func() {
+			if err := http.Serve(aln, srv.AdminHandler()); err != nil {
+				log.Printf("otd: admin listener: %v", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

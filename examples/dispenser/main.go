@@ -15,20 +15,25 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
 	"ironman"
+	"ironman/internal/obs"
 	"ironman/internal/otserv"
 )
 
 func main() {
-	// An in-process dispenser on a loopback port.
+	// An in-process dispenser on a loopback port, sharing a metrics
+	// registry with this process — the same registry otd exposes on
+	// its -admin /metrics endpoint.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := otserv.NewServer(otserv.Config{DefaultParams: "2^20", Depth: 2})
+	reg := obs.NewRegistry()
+	srv := otserv.NewServer(otserv.Config{DefaultParams: "2^20", Depth: 2, Registry: reg})
 	go srv.Serve(ln)
 	defer srv.Close()
 	addr := ln.Addr().String()
@@ -37,15 +42,21 @@ func main() {
 	const sessions = 4
 	const n = 1 << 18 // draws per session
 	var wg sync.WaitGroup
+	var clients []*otserv.Client
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
 	for i := 0; i < sessions; i++ {
+		c, err := otserv.Dial(addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clients = append(clients, c)
 		wg.Add(1)
-		go func(i int) {
+		go func(i int, c *otserv.Client) {
 			defer wg.Done()
-			c, err := otserv.Dial(addr)
-			if err != nil {
-				log.Fatal(err)
-			}
-			defer c.Close()
 			sess, err := c.NewSession(otserv.SessionConfig{Depth: 2})
 			if err != nil {
 				log.Fatal(err)
@@ -73,7 +84,24 @@ func main() {
 				"%d refills, %d blocked draws\n",
 				i, sess.ID(), n, elapsed, float64(n)/elapsed.Seconds()/1e6,
 				st.Sender.Refills, st.Sender.BlockedDraws)
-		}(i)
+		}(i, c)
 	}
 	wg.Wait()
+
+	// On exit, dump the registry the server maintained: the server-wide
+	// lifecycle series plus every live session's pool counters and
+	// draw-latency quantiles — the in-process view of what a Prometheus
+	// scrape of `otd -admin` would collect.
+	fmt.Println("\nregistry metrics at exit:")
+	for _, m := range reg.Snapshot() {
+		switch {
+		case m.Type == "histogram":
+			fmt.Printf("  %-72s count=%d p50=%.6fs p99=%.6fs\n",
+				m.Name, m.Hist.Count, m.Hist.P50, m.Hist.P99)
+		case strings.Contains(m.Name, "_draws_total") ||
+			strings.Contains(m.Name, "_dispensed_total") ||
+			strings.HasPrefix(m.Name, "ironman_otserv_"):
+			fmt.Printf("  %-72s %.0f\n", m.Name, m.Value)
+		}
+	}
 }

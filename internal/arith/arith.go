@@ -29,6 +29,7 @@ import (
 	"ironman/internal/block"
 	"ironman/internal/cot"
 	"ironman/internal/gmw"
+	"ironman/internal/obs"
 	"ironman/internal/transport"
 )
 
@@ -60,6 +61,33 @@ type Party struct {
 	Triples   int // Beaver triples generated (scalar-product equivalents)
 	Mults     int // Beaver multiplications consumed (scalar-product equivalents)
 	Exchanges int // batched two-flight exchanges (triple gen, opens, B2A)
+
+	// Observability hooks (Observe); all nil-safe and absent by default.
+	trace      *obs.Tracer
+	tid        int
+	mOpens     *obs.Counter // ironman_arith_opens_total
+	mOpenWords *obs.Counter // ironman_arith_open_words_total
+	mTriples   *obs.Counter // ironman_arith_triples_total
+}
+
+// Observe attaches a metrics registry and/or phase tracer: every
+// subsequent share open increments
+// ironman_arith_{opens,open_words}_total{labels} and records one
+// "arith.open" span (thread id 1 for the first party, 2 for the peer),
+// and every generated Beaver triple counts toward
+// ironman_arith_triples_total{labels}. The embedded Bool party is wired
+// up too (gmw metric families, same labels). Either argument may be
+// nil; call before the first protocol operation.
+func (p *Party) Observe(reg *obs.Registry, tr *obs.Tracer, labels string) {
+	p.trace = tr
+	p.tid = 2
+	if p.first {
+		p.tid = 1
+	}
+	p.mOpens = reg.Counter(obs.Name("ironman_arith_opens_total", labels))
+	p.mOpenWords = reg.Counter(obs.Name("ironman_arith_open_words_total", labels))
+	p.mTriples = reg.Counter(obs.Name("ironman_arith_triples_total", labels))
+	p.Bool.Observe(reg, tr, labels)
 }
 
 // NewParty assembles an arithmetic party from one COT pool per OT
@@ -169,6 +197,9 @@ func MulPublic(a Share, c uint64) Share {
 // openWords exchanges share vectors (one flight per direction, ordered
 // by the first flag) and returns the element-wise sums — the plaintext.
 func (p *Party) openWords(mine []uint64) ([]uint64, error) {
+	sp := p.trace.Span("arith.open", "arith", p.tid)
+	p.mOpens.Inc()
+	p.mOpenWords.Add(uint64(len(mine)))
 	var peer []uint64
 	if p.first {
 		if err := transport.SendWords(p.conn, mine); err != nil {
@@ -192,6 +223,9 @@ func (p *Party) openWords(mine []uint64) ([]uint64, error) {
 	out := make([]uint64, len(mine))
 	for i := range out {
 		out[i] = mine[i] + peer[i]
+	}
+	if sp.Live() {
+		sp.EndArgs(map[string]any{"words": len(mine)})
 	}
 	return out, nil
 }

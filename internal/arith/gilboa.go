@@ -171,6 +171,7 @@ func (p *Party) NewTriples(n int) (*Triples, error) {
 		}
 	}
 	p.Triples += n
+	p.mTriples.Add(uint64(n))
 	return &Triples{A: a, B: b, C: c}, nil
 }
 
@@ -282,6 +283,7 @@ func (p *Party) NewMatTriple(m, k, n int) (*MatTriple, error) {
 		}
 	}
 	p.Triples += prods
+	p.mTriples.Add(uint64(prods))
 	return &MatTriple{M: m, K: k, N: n, A: a, B: b, C: c}, nil
 }
 

@@ -1,0 +1,66 @@
+package arith
+
+import (
+	"testing"
+
+	"ironman/internal/obs"
+)
+
+// TestObserveOpenAndTriples: the registry totals must track the
+// party's Triples counter and every openWords exchange must leave a
+// counter bump and a span. The embedded Bool party is wired by the
+// same Observe call.
+func TestObserveOpenAndTriples(t *testing.T) {
+	a, b := parties(t, 64*8)
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	labels := obs.Labels("party", "a")
+	a.Observe(reg, tr, labels)
+
+	run2(t, func() error {
+		ta, err := a.NewTriples(4)
+		if err != nil {
+			return err
+		}
+		x := a.NewPrivate([]uint64{3, 5, 7, 9}, true)
+		y := a.NewPublic([]uint64{2, 2, 2, 2})
+		z, err := a.MulVec(x, y, ta)
+		if err != nil {
+			return err
+		}
+		_, err = a.Reveal(z)
+		return err
+	}, func() error {
+		tb, err := b.NewTriples(4)
+		if err != nil {
+			return err
+		}
+		x := b.NewPrivate([]uint64{0, 0, 0, 0}, false)
+		y := b.NewPublic([]uint64{2, 2, 2, 2})
+		z, err := b.MulVec(x, y, tb)
+		if err != nil {
+			return err
+		}
+		_, err = b.Reveal(z)
+		return err
+	})
+
+	if got := reg.Counter(obs.Name("ironman_arith_triples_total", labels)).Value(); got != uint64(a.Triples) {
+		t.Fatalf("triples counter %d != party total %d", got, a.Triples)
+	}
+	opens := reg.Counter(obs.Name("ironman_arith_opens_total", labels)).Value()
+	words := reg.Counter(obs.Name("ironman_arith_open_words_total", labels)).Value()
+	// MulVec opens [d|e] (8 words), Reveal opens z (4 words).
+	if opens != 2 || words != 12 {
+		t.Fatalf("open accounting: %d opens / %d words, want 2 / 12", opens, words)
+	}
+	spans := 0
+	for _, e := range tr.Events() {
+		if e.Name == "arith.open" {
+			spans++
+		}
+	}
+	if spans != 2 {
+		t.Fatalf("got %d arith.open spans, want 2", spans)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"ironman/internal/ferret"
+	"ironman/internal/obs"
 
 	"ironman/internal/prg"
 	"ironman/internal/sim/cpu"
@@ -18,9 +19,12 @@ import (
 	"ironman/internal/sim/nmp"
 )
 
-// Quick toggles reduced sample sizes for CI-speed runs.
+// Quick toggles reduced sample sizes for CI-speed runs. Trace, when
+// non-nil, collects phase spans from the protocol-backed benches
+// (currently ExtendBench) for chrome://tracing / Perfetto.
 type Options struct {
 	Quick bool
+	Trace *obs.Tracer
 }
 
 func (o Options) sampleRows() int {

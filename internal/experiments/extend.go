@@ -58,7 +58,11 @@ func ExtendBench(o Options) ExtendResult {
 	res := ExtendResult{ParamSet: name, Iterations: iters, Usable: params.Usable()}
 	for _, workers := range []int{1, 2, 4, 8} {
 		connS, connR := transport.Pipe()
-		opts := ferret.Options{Workers: workers, Seed: extendBenchSeed, Code: code}
+		// One shared tracer across worker counts: runs are sequential,
+		// so the lanes interleave in time, not in tid space. The wire
+		// invariance check below doubles as proof that tracing never
+		// perturbs the transcript.
+		opts := ferret.Options{Workers: workers, Seed: extendBenchSeed, Code: code, Trace: o.Trace}
 		s, r, err := ferret.DealPools(connS, connR, delta, params, opts)
 		if err != nil {
 			panic(err)

@@ -29,8 +29,22 @@ import (
 	"ironman/internal/iknp"
 	"ironman/internal/lpn"
 	"ironman/internal/mpcot"
+	"ironman/internal/obs"
 	"ironman/internal/prg"
 	"ironman/internal/transport"
+)
+
+// Trace thread-id layout: each endpoint owns a lane for its sequential
+// phases and a contiguous block of worker lanes directly after it.
+// Keeping the two endpoints 100 apart leaves room for any realistic
+// worker count while staying deterministic across runs.
+const (
+	// SenderTID is the trace lane of the sender's sequential phases;
+	// its phase workers occupy SenderTID+1+shard.
+	SenderTID = 1
+	// ReceiverTID is the trace lane of the receiver's sequential
+	// phases; its workers occupy ReceiverTID+1+shard.
+	ReceiverTID = 101
 )
 
 // Domain-separation constants for the deterministic Options.Seed
@@ -74,6 +88,14 @@ type Options struct {
 	// parallel-vs-sequential determinism cross-checks and the
 	// benchmark harness use it.
 	Seed block.Block
+	// Trace, when non-nil, records one span per Extend phase into the
+	// Chrome trace-event timeline: "extend" wrapping the iteration,
+	// "spcot.expand"/"spcot.flights"/"spcot.reconstruct" and
+	// "lpn.encode"/"lpn.noise" inside it, plus per-worker lanes for
+	// the sharded phases. Tracing observes local compute only; the
+	// wire transcript is byte-identical with and without it (the
+	// determinism tests pin this).
+	Trace *obs.Tracer
 }
 
 func (o *Options) fill() {
@@ -108,6 +130,15 @@ func (o *Options) stream(domain block.Block) *aesprg.Stream {
 	return aesprg.NewStream(o.Seed.Xor(domain))
 }
 
+// trace labels this endpoint's sequential lane in the trace viewer and
+// returns the (possibly nil) tracer for the endpoint struct.
+func (o *Options) traceFor(tid int, name string) *obs.Tracer {
+	if o.Trace != nil {
+		o.Trace.NameThread(tid, name)
+	}
+	return o.Trace
+}
+
 // Sender is the OTE sender (holder of the global Δ).
 type Sender struct {
 	conn    transport.Conn
@@ -118,6 +149,7 @@ type Sender struct {
 	pool    *cot.SenderPool
 	workers int
 	rng     *aesprg.Stream // deterministic tree seeds; nil = crypto/rand
+	trace   *obs.Tracer
 	Delta   block.Block
 	// Iterations counts completed Extend calls.
 	Iterations int
@@ -133,6 +165,7 @@ type Receiver struct {
 	pool       *cot.ReceiverPool
 	workers    int
 	rng        *aesprg.Stream // deterministic noise positions; nil = crypto/rand
+	trace      *obs.Tracer
 	Iterations int
 }
 
@@ -165,6 +198,7 @@ func NewSender(conn transport.Conn, delta block.Block, params Params, opts Optio
 		pool:    cot.NewSenderPool(delta, r0),
 		workers: opts.Workers,
 		rng:     opts.stream(seedDomainSender),
+		trace:   opts.traceFor(SenderTID, "ferret.sender"),
 		Delta:   delta,
 	}, nil
 }
@@ -208,15 +242,18 @@ func NewReceiver(conn transport.Conn, params Params, opts Options) (*Receiver, e
 		pool:    pool,
 		workers: opts.Workers,
 		rng:     opts.stream(seedDomainReceiver),
+		trace:   opts.traceFor(ReceiverTID, "ferret.receiver"),
 	}, nil
 }
 
 func (s *Sender) mpcotConfig() mpcot.Config {
-	return mpcot.Config{N: s.params.N, Leaves: s.params.L, T: s.params.T}
+	return mpcot.Config{N: s.params.N, Leaves: s.params.L, T: s.params.T,
+		Trace: s.trace, TID: SenderTID}
 }
 
 func (r *Receiver) mpcotConfig() mpcot.Config {
-	return mpcot.Config{N: r.params.N, Leaves: r.params.L, T: r.params.T}
+	return mpcot.Config{N: r.params.N, Leaves: r.params.L, T: r.params.T,
+		Trace: r.trace, TID: ReceiverTID}
 }
 
 // Extend runs one protocol iteration and returns Usable() fresh r0
@@ -224,6 +261,7 @@ func (r *Receiver) mpcotConfig() mpcot.Config {
 // encode) shard across Options.Workers goroutines; the wire transcript
 // does not depend on the worker count.
 func (s *Sender) Extend() ([]block.Block, error) {
+	ext := s.trace.Span("extend", "ferret", SenderTID)
 	cfg := s.mpcotConfig()
 	// Step 1: interactive SPCOT phase — parallel tree expansion, then
 	// sequential puncturing flights.
@@ -241,12 +279,19 @@ func (s *Sender) Extend() ([]block.Block, error) {
 		return nil, fmt.Errorf("ferret extend (lpn input): %w", err)
 	}
 	// Step 3: local LPN encoding, z = r·A ⊕ w (rank-parallel).
+	enc := s.trace.Span("lpn.encode", "extend", SenderTID)
 	z := make([]block.Block, s.params.N)
-	s.code.EncodeBlocksParallel(z, r, w, s.workers)
+	s.code.EncodeBlocksSpans(z, r, w, s.workers, s.trace, SenderTID)
+	if enc.Live() {
+		enc.EndArgs(map[string]any{"rows": s.params.N, "k": s.params.K})
+	}
 	// Step 4: bootstrap the next iteration from the tail.
 	usable := s.params.Usable()
 	s.pool = cot.NewSenderPool(s.Delta, z[usable:])
 	s.Iterations++
+	if ext.Live() {
+		ext.EndArgs(map[string]any{"iteration": s.Iterations, "n": s.params.N})
+	}
 	return z[:usable], nil
 }
 
@@ -272,6 +317,7 @@ type ReceiverOutput struct {
 // sender, local phases shard across Options.Workers goroutines without
 // touching the wire transcript.
 func (r *Receiver) Extend() (*ReceiverOutput, error) {
+	ext := r.trace.Span("extend", "ferret", ReceiverTID)
 	cfg := r.mpcotConfig()
 	var alphas []int
 	if r.rng != nil {
@@ -291,8 +337,12 @@ func (r *Receiver) Extend() (*ReceiverOutput, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ferret extend (lpn input): %w", err)
 	}
+	enc := r.trace.Span("lpn.encode", "extend", ReceiverTID)
 	y := make([]block.Block, r.params.N)
-	r.code.EncodeBlocksParallel(y, sBlocks, v, r.workers)
+	r.code.EncodeBlocksSpans(y, sBlocks, v, r.workers, r.trace, ReceiverTID)
+	if enc.Live() {
+		enc.EndArgs(map[string]any{"rows": r.params.N, "k": r.params.K})
+	}
 	// Noise positions in [N, t·ℓ) sit in the truncated tail of the
 	// output range: their tree output was discarded by MPCOT, so they
 	// carry no noise and are dropped here ON PURPOSE — EncodeBits
@@ -303,9 +353,13 @@ func (r *Receiver) Extend() (*ReceiverOutput, error) {
 			points = append(points, a)
 		}
 	}
+	noise := r.trace.Span("lpn.noise", "extend", ReceiverTID)
 	x := make([]bool, r.params.N)
-	if err := r.code.EncodeBitsParallel(x, e, points, r.workers); err != nil {
+	if err := r.code.EncodeBitsSpans(x, e, points, r.workers, r.trace, ReceiverTID); err != nil {
 		return nil, fmt.Errorf("ferret extend (lpn noise): %w", err)
+	}
+	if noise.Live() {
+		noise.EndArgs(map[string]any{"rows": r.params.N, "points": len(points)})
 	}
 
 	usable := r.params.Usable()
@@ -315,6 +369,9 @@ func (r *Receiver) Extend() (*ReceiverOutput, error) {
 	}
 	r.pool = pool
 	r.Iterations++
+	if ext.Live() {
+		ext.EndArgs(map[string]any{"iteration": r.Iterations, "n": r.params.N})
+	}
 	return &ReceiverOutput{Bits: x[:usable], Blocks: y[:usable]}, nil
 }
 
@@ -347,11 +404,13 @@ func DealPools(connS, connR transport.Conn, delta block.Block, params Params, op
 		conn: connS, params: params, prg: opts.PRG, hash: aesprg.NewHash(),
 		code: code, pool: sp, Delta: delta,
 		workers: opts.Workers, rng: opts.stream(seedDomainSender),
+		trace: opts.traceFor(SenderTID, "ferret.sender"),
 	}
 	r := &Receiver{
 		conn: connR, params: params, prg: opts.PRG, hash: aesprg.NewHash(),
 		code: code, pool: rp,
 		workers: opts.Workers, rng: opts.stream(seedDomainReceiver),
+		trace: opts.traceFor(ReceiverTID, "ferret.receiver"),
 	}
 	return s, r, nil
 }

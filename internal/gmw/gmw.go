@@ -40,6 +40,7 @@ import (
 	"ironman/internal/aesprg"
 	"ironman/internal/block"
 	"ironman/internal/cot"
+	"ironman/internal/obs"
 	"ironman/internal/transport"
 )
 
@@ -70,6 +71,51 @@ type Party struct {
 
 	ANDGates  int // consumed AND gates (2 OTs each)
 	Exchanges int // batched AND exchanges (one two-flight OT round each)
+
+	// Observability hooks (Observe); all nil-safe and absent by default.
+	trace      *obs.Tracer
+	tid        int
+	mANDs      *obs.Counter // ironman_gmw_and_gates_total
+	mExchanges *obs.Counter // ironman_gmw_exchanges_total
+	mWire      *obs.Counter // ironman_gmw_wire_bytes_total
+}
+
+// Observe attaches a metrics registry and/or phase tracer to the party.
+// Every subsequent AND exchange increments
+// ironman_gmw_{and_gates,exchanges,wire_bytes}_total{labels} and records
+// one "gmw.exchange" span (thread id 1 for the first party, 2 for the
+// peer — the two lanes of a two-party timeline). labels is an
+// obs.Labels-formatted set merged into every series; either argument
+// may be nil. Call before the first gate; the hooks are not
+// synchronized with in-flight exchanges.
+func (p *Party) Observe(reg *obs.Registry, tr *obs.Tracer, labels string) {
+	p.trace = tr
+	p.tid = 2
+	if p.first {
+		p.tid = 1
+	}
+	p.mANDs = reg.Counter(obs.Name("ironman_gmw_and_gates_total", labels))
+	p.mExchanges = reg.Counter(obs.Name("ironman_gmw_exchanges_total", labels))
+	p.mWire = reg.Counter(obs.Name("ironman_gmw_wire_bytes_total", labels))
+}
+
+// observing reports whether any per-exchange instrumentation is live
+// (the one branch the un-observed hot path pays).
+func (p *Party) observing() bool { return p.trace.Enabled() || p.mWire != nil }
+
+// noteExchange records one completed AND exchange of n gates against
+// the attached instruments. preBytes is the conn's TotalBytes before
+// the exchange; sp the span opened at its start.
+func (p *Party) noteExchange(sp obs.Span, n int, preBytes int64) {
+	wire := p.conn.Stats().TotalBytes() - preBytes
+	p.mANDs.Add(uint64(n))
+	p.mExchanges.Inc()
+	if wire > 0 {
+		p.mWire.Add(uint64(wire))
+	}
+	if sp.Live() {
+		sp.EndArgs(map[string]any{"ands": n, "wire_bytes": wire})
+	}
 }
 
 // NewParty assembles a GMW party from its two correlation pools and
@@ -247,6 +293,12 @@ func (p *Party) And(a, b Share) (Share, error) {
 	if n == 0 {
 		return out, nil
 	}
+	var sp obs.Span
+	var preBytes int64
+	if p.observing() {
+		preBytes = p.conn.Stats().TotalBytes()
+		sp = p.trace.Span("gmw.exchange", "gmw", p.tid)
+	}
 
 	send := func() error {
 		// This party is OT sender for the cross term (my a) x (peer b):
@@ -295,6 +347,9 @@ func (p *Party) And(a, b Share) (Share, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.observing() {
+		p.noteExchange(sp, n, preBytes)
+	}
 	p.ANDGates += n
 	p.Exchanges++
 	return out, nil
@@ -330,6 +385,12 @@ func (p *Party) AndPacked(a, b PackedShare) (PackedShare, error) {
 	}
 	if n == 0 {
 		return out, nil
+	}
+	var sp obs.Span
+	var preBytes int64
+	if p.observing() {
+		preBytes = p.conn.Stats().TotalBytes()
+		sp = p.trace.Span("gmw.exchange", "gmw", p.tid)
 	}
 
 	send := func() error {
@@ -369,6 +430,9 @@ func (p *Party) AndPacked(a, b PackedShare) (PackedShare, error) {
 	}
 	if err != nil {
 		return PackedShare{}, err
+	}
+	if p.observing() {
+		p.noteExchange(sp, n, preBytes)
 	}
 	p.ANDGates += n
 	p.Exchanges++

@@ -1,0 +1,62 @@
+package gmw
+
+import (
+	"testing"
+
+	"ironman/internal/obs"
+)
+
+// TestObserveExchangeMetrics: registry counters must agree with the
+// party's own ANDGates/Exchanges totals, wire accounting must be
+// positive, and every exchange must leave a span.
+func TestObserveExchangeMetrics(t *testing.T) {
+	a, b := parties(t, 512)
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	a.Observe(reg, tr, obs.Labels("party", "a"))
+	b.Observe(nil, nil, "") // peer unobserved: hooks must stay optional
+
+	var outA, outB PackedShare
+	run2(t, func() error {
+		x := a.NewPublicPacked(make([]bool, 100))
+		y := a.NewPrivatePacked(make([]bool, 100), true)
+		var err error
+		outA, err = a.AndPacked(x, y)
+		return err
+	}, func() error {
+		x := b.NewPublicPacked(make([]bool, 100))
+		y := b.NewPrivatePacked(make([]bool, 100), false)
+		var err error
+		outB, err = b.AndPacked(x, y)
+		return err
+	})
+	_ = outA
+	_ = outB
+
+	ands := reg.Counter(obs.Name("ironman_gmw_and_gates_total", obs.Labels("party", "a"))).Value()
+	exch := reg.Counter(obs.Name("ironman_gmw_exchanges_total", obs.Labels("party", "a"))).Value()
+	wire := reg.Counter(obs.Name("ironman_gmw_wire_bytes_total", obs.Labels("party", "a"))).Value()
+	if ands != uint64(a.ANDGates) || exch != uint64(a.Exchanges) {
+		t.Fatalf("registry (%d ands, %d exch) disagrees with party (%d, %d)",
+			ands, exch, a.ANDGates, a.Exchanges)
+	}
+	if ands != 100 || exch != 1 {
+		t.Fatalf("expected 100 ANDs in 1 exchange, got %d in %d", ands, exch)
+	}
+	if wire == 0 {
+		t.Fatal("wire byte counter did not move across an OT exchange")
+	}
+
+	spans := 0
+	for _, e := range tr.Events() {
+		if e.Name == "gmw.exchange" {
+			spans++
+			if e.Args["ands"] != 100 {
+				t.Fatalf("span args wrong: %+v", e.Args)
+			}
+		}
+	}
+	if spans != 1 {
+		t.Fatalf("got %d gmw.exchange spans, want 1", spans)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"ironman/internal/aesprg"
 	"ironman/internal/block"
+	"ironman/internal/obs"
 	"ironman/internal/parallel"
 )
 
@@ -80,13 +81,24 @@ func (c *Code) EncodeBlocks(out, r, w []block.Block) {
 // sequential encode for any worker count; workers <= 0 selects
 // runtime.GOMAXPROCS, 1 is the sequential path.
 func (c *Code) EncodeBlocksParallel(out, r, w []block.Block, workers int) {
+	c.EncodeBlocksSpans(out, r, w, workers, nil, 0)
+}
+
+// EncodeBlocksSpans is EncodeBlocksParallel with per-worker tracing:
+// each shard records an "lpn.encode" span on thread tidBase+1+shard
+// with its row range, making the rank-parallel encode — the
+// memory-bound phase the paper's NMP design accelerates — visible in
+// the trace viewer one worker lane at a time. tr == nil is exactly
+// EncodeBlocksParallel.
+func (c *Code) EncodeBlocksSpans(out, r, w []block.Block, workers int, tr *obs.Tracer, tidBase int) {
 	if len(out) != c.N || len(r) != c.K {
 		panic("lpn: EncodeBlocks dimension mismatch")
 	}
 	if w != nil && len(w) != c.N {
 		panic("lpn: EncodeBlocks w dimension mismatch")
 	}
-	parallel.Shard(workers, c.N, func(lo, hi int) {
+	parallel.ShardIndexed(workers, c.N, func(shard, lo, hi int) {
+		sp := tr.Span("lpn.encode", "extend.worker", tidBase+1+shard)
 		for i := lo; i < hi; i++ {
 			var acc block.Block
 			for _, j := range c.idx[i*c.D : (i+1)*c.D] {
@@ -97,6 +109,9 @@ func (c *Code) EncodeBlocksParallel(out, r, w []block.Block, workers int) {
 				acc = acc.Xor(w[i])
 			}
 			out[i] = acc
+		}
+		if sp.Live() {
+			sp.EndArgs(map[string]any{"rows": hi - lo, "lo": lo})
 		}
 	})
 }
@@ -115,6 +130,12 @@ func (c *Code) EncodeBits(out, e []bool, points []int) error {
 // validated up front and applied after the dense phase completes, so
 // the result is identical for any worker count.
 func (c *Code) EncodeBitsParallel(out, e []bool, points []int, workers int) error {
+	return c.EncodeBitsSpans(out, e, points, workers, nil, 0)
+}
+
+// EncodeBitsSpans is EncodeBitsParallel with per-worker "lpn.noise"
+// spans on threads tidBase+1+shard (see EncodeBlocksSpans).
+func (c *Code) EncodeBitsSpans(out, e []bool, points []int, workers int, tr *obs.Tracer, tidBase int) error {
 	if len(out) != c.N || len(e) != c.K {
 		panic("lpn: EncodeBits dimension mismatch")
 	}
@@ -123,13 +144,17 @@ func (c *Code) EncodeBitsParallel(out, e []bool, points []int, workers int) erro
 			return fmt.Errorf("lpn: noise point %d outside [0,%d)", p, c.N)
 		}
 	}
-	parallel.Shard(workers, c.N, func(lo, hi int) {
+	parallel.ShardIndexed(workers, c.N, func(shard, lo, hi int) {
+		sp := tr.Span("lpn.noise", "extend.worker", tidBase+1+shard)
 		for i := lo; i < hi; i++ {
 			acc := false
 			for _, j := range c.idx[i*c.D : (i+1)*c.D] {
 				acc = acc != e[j]
 			}
 			out[i] = acc
+		}
+		if sp.Live() {
+			sp.EndArgs(map[string]any{"rows": hi - lo, "lo": lo})
 		}
 	})
 	for _, p := range points {

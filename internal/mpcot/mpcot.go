@@ -14,6 +14,7 @@ import (
 	"ironman/internal/aesprg"
 	"ironman/internal/block"
 	"ironman/internal/cot"
+	"ironman/internal/obs"
 	"ironman/internal/parallel"
 	"ironman/internal/prg"
 	"ironman/internal/spcot"
@@ -25,6 +26,16 @@ type Config struct {
 	N      int // output length
 	Leaves int // GGM tree size ℓ (power of two)
 	T      int // number of trees / noise positions
+
+	// Trace, when non-nil, records phase spans: "spcot.expand" /
+	// "spcot.reconstruct" per worker (threads TID+1+shard) and the
+	// sequential "spcot.flights" wire phase on thread TID. Tracing
+	// observes local compute only — the wire transcript is untouched
+	// (guarded by the ferret determinism tests).
+	Trace *obs.Tracer
+	// TID is the trace thread id of the endpoint driving this
+	// execution (its workers get TID+1+shard).
+	TID int
 }
 
 // Validate checks the basic shape of the configuration. t·ℓ may be
@@ -147,25 +158,39 @@ func SendSeeded(conn transport.Conn, pool *cot.SenderPool, h *aesprg.Hash, p prg
 	}
 	// Phase 1 (local, parallel): expand every bucket's tree and place
 	// its leaves. Buckets write disjoint ranges of w.
+	expand := cfg.Trace.Span("spcot.expand", "extend", cfg.TID)
 	w := make([]block.Block, cfg.N)
 	trees := make([]*spcot.SenderTree, cfg.T)
-	parallel.Each(workers, cfg.T, func(i int) {
-		trees[i] = spcot.ExpandSender(p, cfg.Leaves, seeds[i])
-		lo, hi := cfg.bucketSpan(i)
-		if hi > lo {
-			copy(w[lo:hi], trees[i].Leaves()[:hi-lo])
+	parallel.ShardIndexed(workers, cfg.T, func(shard, lo, hi int) {
+		sp := cfg.Trace.Span("spcot.expand", "extend.worker", cfg.TID+1+shard)
+		for i := lo; i < hi; i++ {
+			trees[i] = spcot.ExpandSender(p, cfg.Leaves, seeds[i])
+			blo, bhi := cfg.bucketSpan(i)
+			if bhi > blo {
+				copy(w[blo:bhi], trees[i].Leaves()[:bhi-blo])
+			}
+			// The flights need only sums/gadget/xor; holding every tree's
+			// leaves until phase 2 finishes would double peak memory.
+			trees[i].ReleaseLeaves()
 		}
-		// The flights need only sums/gadget/xor; holding every tree's
-		// leaves until phase 2 finishes would double peak memory.
-		trees[i].ReleaseLeaves()
+		if sp.Live() {
+			sp.EndArgs(map[string]any{"trees": hi - lo})
+		}
 	})
+	if expand.Live() {
+		expand.EndArgs(map[string]any{"trees": cfg.T, "leaves": cfg.Leaves})
+	}
 	// Phase 2 (wire, sequential): the puncturing flights consume pool
 	// correlations in bucket order — the cursor is part of the
 	// transcript, so this phase never reorders.
+	flights := cfg.Trace.Span("spcot.flights", "extend", cfg.TID)
 	for i := 0; i < cfg.T; i++ {
 		if err := trees[i].SendFlights(conn, pool, h); err != nil {
 			return nil, fmt.Errorf("mpcot tree %d: %w", i, err)
 		}
+	}
+	if flights.Live() {
+		flights.EndArgs(map[string]any{"trees": cfg.T})
 	}
 	return w, nil
 }
@@ -200,6 +225,7 @@ func ReceiveWorkers(conn transport.Conn, pool *cot.ReceiverPool, h *aesprg.Hash,
 		}
 	}
 	// Phase 1 (wire, sequential).
+	fl := cfg.Trace.Span("spcot.flights", "extend", cfg.TID)
 	flights := make([]*spcot.ReceiverFlights, cfg.T)
 	for i := 0; i < cfg.T; i++ {
 		lo := i * cfg.Leaves
@@ -209,15 +235,28 @@ func ReceiveWorkers(conn transport.Conn, pool *cot.ReceiverPool, h *aesprg.Hash,
 		}
 		flights[i] = f
 	}
+	if fl.Live() {
+		fl.EndArgs(map[string]any{"trees": cfg.T})
+	}
 	// Phase 2 (local, parallel): reconstruct every bucket's punctured
 	// tree. Buckets write disjoint ranges of v.
+	reco := cfg.Trace.Span("spcot.reconstruct", "extend", cfg.TID)
 	v := make([]block.Block, cfg.N)
-	parallel.Each(workers, cfg.T, func(i int) {
-		leaves := flights[i].Reconstruct(p)
-		lo, hi := cfg.bucketSpan(i)
-		if hi > lo {
-			copy(v[lo:hi], leaves[:hi-lo])
+	parallel.ShardIndexed(workers, cfg.T, func(shard, lo, hi int) {
+		sp := cfg.Trace.Span("spcot.reconstruct", "extend.worker", cfg.TID+1+shard)
+		for i := lo; i < hi; i++ {
+			leaves := flights[i].Reconstruct(p)
+			blo, bhi := cfg.bucketSpan(i)
+			if bhi > blo {
+				copy(v[blo:bhi], leaves[:bhi-blo])
+			}
+		}
+		if sp.Live() {
+			sp.EndArgs(map[string]any{"trees": hi - lo})
 		}
 	})
+	if reco.Live() {
+		reco.EndArgs(map[string]any{"trees": cfg.T, "leaves": cfg.Leaves})
+	}
 	return v, nil
 }

@@ -1,0 +1,46 @@
+package otserv
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// AdminHandler returns the operator-facing HTTP surface for a running
+// dispenser server. It is intentionally separate from the binary OT
+// protocol listener: the admin port carries no capabilities (attach
+// tokens never transit it) and is meant for loopback or an internal
+// scrape network.
+//
+// Routes:
+//
+//	/metrics       Prometheus text exposition (0.0.4) of the registry
+//	/healthz       200 "ok" liveness probe
+//	/sessions      JSON StatsDump, same shape as the STATS protocol op
+//	/debug/pprof/  standard net/http/pprof profiles
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.reg.WritePrometheus(w); err != nil {
+			// Headers are gone; all we can do is drop the conn.
+			return
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/sessions", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.statsDump())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -9,10 +9,12 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strings"
 	"sync"
 
 	"ironman/internal/block"
 	"ironman/internal/ferret"
+	"ironman/internal/obs"
 	"ironman/internal/parallel"
 	"ironman/internal/pool"
 	"ironman/internal/prg"
@@ -41,6 +43,12 @@ type Config struct {
 	// then use the whole host, which is the right default for a
 	// dispenser whose sessions are usually drained one at a time.
 	Workers int
+	// Registry receives the server's metrics: session lifecycle
+	// counters plus one ironman_pool_* instrument set per session half,
+	// labeled {session, half, params}. nil — the default — makes the
+	// server create its own (Registry() exposes it either way; the
+	// STATS protocol and the admin endpoint are registry-backed).
+	Registry *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +82,12 @@ type session struct {
 	connA      transport.Conn // in-process pipe endpoints backing the
 	connB      transport.Conn // session's ferret pair
 	refs       int            // attachments across all client conns
+	// obsS/obsR mirror the pool halves into the server registry; the
+	// STATS protocol serves from these (pool.Stats agrees by the
+	// Observer contract). labels is the shared per-session label set,
+	// the teardown Drop predicate's match key.
+	obsS, obsR *pool.Observer
+	labels     string
 }
 
 // attachment is one conn's view of a session: which halves it may
@@ -88,6 +102,12 @@ type attachment struct {
 // Server is the multi-session OT dispenser.
 type Server struct {
 	cfg Config
+	reg *obs.Registry
+
+	// Lifecycle metrics (registry-backed; mirror the mu-held counters).
+	mSessions *obs.Gauge   // ironman_otserv_sessions
+	mOpened   *obs.Counter // ironman_otserv_sessions_opened_total
+	mClosed   *obs.Counter // ironman_otserv_sessions_closed_total
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -102,12 +122,25 @@ type Server struct {
 
 // NewServer builds a dispenser with the given config.
 func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	return &Server{
-		cfg:      cfg.withDefaults(),
-		conns:    make(map[transport.Conn]struct{}),
-		sessions: make(map[uint64]*session),
+		cfg:       cfg,
+		reg:       reg,
+		mSessions: reg.Gauge("ironman_otserv_sessions"),
+		mOpened:   reg.Counter("ironman_otserv_sessions_opened_total"),
+		mClosed:   reg.Counter("ironman_otserv_sessions_closed_total"),
+		conns:     make(map[transport.Conn]struct{}),
+		sessions:  make(map[uint64]*session),
 	}
 }
+
+// Registry exposes the server's metrics registry (scraped by the admin
+// endpoint's /metrics; callers may add their own series).
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Serve accepts dispenser clients on ln until the listener fails or
 // the server is closed. It blocks; run it on its own goroutine when
@@ -174,7 +207,7 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	for _, sess := range rest {
-		teardown(sess)
+		s.teardown(sess)
 	}
 	return nil
 }
@@ -369,10 +402,20 @@ func (s *Server) openSession(name string, params ferret.Params, req helloReq, de
 	}
 	s.nextID++
 	sess.id = s.nextID
+	sess.labels = obs.Labels("session", fmt.Sprint(sess.id))
+	sess.obsS = pool.NewObserver(s.reg, obs.Labels(
+		"session", fmt.Sprint(sess.id), "half", "sender", "params", name))
+	sess.obsR = pool.NewObserver(s.reg, obs.Labels(
+		"session", fmt.Sprint(sess.id), "half", "receiver", "params", name))
 	// Start prefetching only once the session is registered.
-	sess.pool = pool.NewDealt(src, pool.Config{Depth: depth, LowWater: req.LowWater})
+	sess.pool = pool.NewDealt(src, pool.Config{
+		Depth: depth, LowWater: req.LowWater,
+		Obs: sess.obsS, ObsReceiver: sess.obsR,
+	})
 	s.sessions[sess.id] = sess
 	s.opened++
+	s.mSessions.Set(int64(len(s.sessions)))
+	s.mOpened.Inc()
 	s.mu.Unlock()
 	return sess, nil
 }
@@ -463,14 +506,17 @@ func halfStats(st pool.Stats) HalfStats {
 	}
 }
 
+// stats serves the session's counters from the registry-backed
+// observers (NOT pool.Stats() — the Observer contract keeps the two
+// views identical once draws quiesce, and serving from the registry
+// guarantees STATS and the admin /metrics page can never disagree).
 func (sess *session) stats(refs int) SessionStats {
-	ss, rs := sess.pool.Stats()
 	return SessionStats{
 		ID:       sess.id,
 		Params:   sess.paramsName,
 		Refs:     refs,
-		Sender:   halfStats(ss),
-		Receiver: halfStats(rs),
+		Sender:   halfStats(sess.obsS.Snapshot()),
+		Receiver: halfStats(sess.obsR.Snapshot()),
 	}
 }
 
@@ -494,6 +540,12 @@ func (s *Server) handleStats(body []byte, owned map[uint64]*attachment) []byte {
 		s.mu.Unlock()
 		return respJSON(at.sess.stats(refs))
 	}
+	return respJSON(s.statsDump())
+}
+
+// statsDump assembles the server-wide STATS view (also served as JSON
+// by the admin endpoint's /sessions route).
+func (s *Server) statsDump() StatsDump {
 	s.mu.Lock()
 	dump := StatsDump{
 		Sessions:       len(s.sessions),
@@ -514,7 +566,7 @@ func (s *Server) handleStats(body []byte, owned map[uint64]*attachment) []byte {
 	for _, e := range entries {
 		dump.PerSession = append(dump.PerSession, e.sess.stats(e.refs))
 	}
-	return respJSON(dump)
+	return dump
 }
 
 // deref drops one reference to a session, tearing it down at zero.
@@ -532,15 +584,21 @@ func (s *Server) deref(id uint64) {
 	}
 	delete(s.sessions, id)
 	s.torn++
+	s.mSessions.Set(int64(len(s.sessions)))
+	s.mClosed.Inc()
 	s.mu.Unlock()
-	teardown(sess)
+	s.teardown(sess)
 }
 
-// teardown stops a session's prefetch worker and closes its pipes.
+// teardown stops a session's prefetch worker, closes its pipes, and
+// retires the session's metric series so registry cardinality stays
+// bounded by live sessions, not lifetime session count.
 // pool.Close completes the in-flight lockstep iteration first (the
 // worker drives both pipe endpoints, so it cannot wedge).
-func teardown(sess *session) {
+func (s *Server) teardown(sess *session) {
 	sess.pool.Close()
 	sess.connA.Close()
 	sess.connB.Close()
+	key := "{" + sess.labels + ","
+	s.reg.Drop(func(name string) bool { return strings.Contains(name, key) })
 }

@@ -28,6 +28,15 @@ func Workers(requested int) int {
 // regular workloads (LPN rows, hash batches) stay balanced. With
 // workers <= 1 or n <= 1 the single range runs inline on the caller.
 func Shard(workers, n int, f func(lo, hi int)) {
+	ShardIndexed(workers, n, func(_, lo, hi int) { f(lo, hi) })
+}
+
+// ShardIndexed is Shard with the shard index (a stable 0-based worker
+// id) passed to f — the hook per-worker observability spans hang off:
+// the index is a deterministic function of (workers, n), never of
+// goroutine scheduling, so a trace's worker lanes line up across
+// iterations.
+func ShardIndexed(workers, n int, f func(shard, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -36,7 +45,7 @@ func Shard(workers, n int, f func(lo, hi int)) {
 		w = n
 	}
 	if w <= 1 {
-		f(0, n)
+		f(0, 0, n)
 		return
 	}
 	var wg sync.WaitGroup
@@ -48,10 +57,10 @@ func Shard(workers, n int, f func(lo, hi int)) {
 		if i < rem {
 			hi++
 		}
-		go func(lo, hi int) {
+		go func(i, lo, hi int) {
 			defer wg.Done()
-			f(lo, hi)
-		}(lo, hi)
+			f(i, lo, hi)
+		}(i, lo, hi)
 		lo = hi
 	}
 	wg.Wait()

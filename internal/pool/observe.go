@@ -1,0 +1,115 @@
+package pool
+
+import (
+	"time"
+
+	"ironman/internal/obs"
+)
+
+// Observer mirrors one pool half's Stats counters into a metrics
+// registry, at the same mutex-held update points the internal counters
+// use — so once draws quiesce, the registry-served totals and Stats()
+// agree exactly (the otserv STATS endpoint relies on this). It also
+// feeds two latency histograms the plain counters cannot express:
+// draw-wait time and source-refill time.
+//
+// A nil *Observer is a no-op on every method, so un-observed pools pay
+// one nil check per event.
+type Observer struct {
+	draws        *obs.Counter // ironman_pool_draws_total
+	blockedDraws *obs.Counter // ironman_pool_blocked_draws_total
+	stalledDraws *obs.Counter // ironman_pool_stalled_draws_total
+	refills      *obs.Counter // ironman_pool_refills_total
+	generated    *obs.Counter // ironman_pool_generated_total
+	dispensed    *obs.Counter // ironman_pool_dispensed_total
+	blockedNS    *obs.Counter // ironman_pool_blocked_ns_total
+	buffered     *obs.Gauge   // ironman_pool_buffered
+	drawWait     *obs.Histogram
+	refillDur    *obs.Histogram
+}
+
+// NewObserver registers one pool half's instrument set under the given
+// label set (obs.Labels format; typically session and half). A nil
+// registry yields a nil Observer.
+func NewObserver(reg *obs.Registry, labels string) *Observer {
+	if reg == nil {
+		return nil
+	}
+	return &Observer{
+		draws:        reg.Counter(obs.Name("ironman_pool_draws_total", labels)),
+		blockedDraws: reg.Counter(obs.Name("ironman_pool_blocked_draws_total", labels)),
+		stalledDraws: reg.Counter(obs.Name("ironman_pool_stalled_draws_total", labels)),
+		refills:      reg.Counter(obs.Name("ironman_pool_refills_total", labels)),
+		generated:    reg.Counter(obs.Name("ironman_pool_generated_total", labels)),
+		dispensed:    reg.Counter(obs.Name("ironman_pool_dispensed_total", labels)),
+		blockedNS:    reg.Counter(obs.Name("ironman_pool_blocked_ns_total", labels)),
+		buffered:     reg.Gauge(obs.Name("ironman_pool_buffered", labels)),
+		drawWait:     reg.Histogram(obs.Name("ironman_pool_draw_wait_seconds", labels)),
+		refillDur:    reg.Histogram(obs.Name("ironman_pool_refill_seconds", labels)),
+	}
+}
+
+func (o *Observer) noteDraw() {
+	if o == nil {
+		return
+	}
+	o.draws.Inc()
+}
+
+func (o *Observer) noteDispensed(n, buffered int) {
+	if o == nil {
+		return
+	}
+	o.dispensed.Add(uint64(n))
+	o.buffered.Set(int64(buffered))
+}
+
+func (o *Observer) noteRefill(n, buffered int, dur time.Duration) {
+	if o == nil {
+		return
+	}
+	o.refills.Inc()
+	o.generated.Add(uint64(n))
+	o.buffered.Set(int64(buffered))
+	o.refillDur.Observe(dur.Seconds())
+}
+
+func (o *Observer) noteBlockedDraw() {
+	if o == nil {
+		return
+	}
+	o.blockedDraws.Inc()
+}
+
+func (o *Observer) noteBlockedTime(d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.blockedNS.Add(uint64(d.Nanoseconds()))
+	o.drawWait.Observe(d.Seconds())
+}
+
+func (o *Observer) noteStalled() {
+	if o == nil {
+		return
+	}
+	o.stalledDraws.Inc()
+}
+
+// Snapshot reads the registry-backed totals back in Stats shape; the
+// contract with the internal counters (see the type comment) makes the
+// two views identical once concurrent draws quiesce.
+func (o *Observer) Snapshot() Stats {
+	if o == nil {
+		return Stats{}
+	}
+	return Stats{
+		Generated:    o.generated.Value(),
+		Dispensed:    o.dispensed.Value(),
+		Refills:      o.refills.Value(),
+		Draws:        o.draws.Value(),
+		BlockedDraws: o.blockedDraws.Value(),
+		BlockedTime:  time.Duration(o.blockedNS.Value()),
+		Buffered:     int(o.buffered.Value()),
+	}
+}

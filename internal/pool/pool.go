@@ -72,6 +72,12 @@ type Config struct {
 	// (Depth+8) batches; negative disables the cap. Ignored by Sender
 	// and Receiver pools, whose single buffer is bounded by demand.
 	MaxBuffered int
+	// Obs mirrors this pool's counters into a metrics registry (for a
+	// Dealt pool: the sender half). nil disables mirroring.
+	Obs *Observer
+	// ObsReceiver is the receiver half's observer of a Dealt pool;
+	// ignored by Sender and Receiver pools.
+	ObsReceiver *Observer
 }
 
 // Stats are one pool's lifetime counters. All counts are correlations
@@ -186,12 +192,14 @@ func (c *core) runWorker(ready func() int, refill func() error) {
 // can discount correlations a waiting draw is about to consume.
 // Waiters re-assert demand every iteration, so clearing it on exit is
 // safe with other draws still queued.
-func (c *core) await(n int, ready func() int, stats *Stats, stalled func() error, pending *int) error {
+func (c *core) await(n int, ready func() int, stats *Stats, o *Observer, stalled func() error, pending *int) error {
 	blocked := false
 	var begin time.Time
 	defer func() {
 		if blocked {
-			stats.BlockedTime += time.Since(begin)
+			d := time.Since(begin)
+			stats.BlockedTime += d
+			o.noteBlockedTime(d)
 		}
 		c.demand = 0
 		if pending != nil {
@@ -213,12 +221,14 @@ func (c *core) await(n int, ready func() int, stats *Stats, stalled func() error
 		}
 		if stalled != nil {
 			if err := stalled(); err != nil {
+				o.noteStalled()
 				return err
 			}
 		}
 		if !blocked {
 			blocked = true
 			stats.BlockedDraws++
+			o.noteBlockedDraw()
 			begin = time.Now()
 		}
 		c.cond.Broadcast() // wake the worker
@@ -322,26 +332,30 @@ func NewSender(src SenderSource, cfg Config) *Sender {
 	return p
 }
 
-// ingest appends one source batch; called with mu held.
-func (p *Sender) ingest(z []block.Block) error {
+// ingest appends one source batch; called with mu held. dur is how
+// long the source ran (observability only).
+func (p *Sender) ingest(z []block.Block, dur time.Duration) error {
 	if err := p.noteBatch(len(z)); err != nil {
 		return err
 	}
 	p.buf.push(z)
 	p.stats.Refills++
 	p.stats.Generated += uint64(len(z))
+	p.cfg.Obs.noteRefill(len(z), p.buf.ready(), dur)
 	return nil
 }
 
 // refill runs one source batch; called by the worker outside the lock.
 func (p *Sender) refill() error {
+	begin := time.Now()
 	z, err := p.src()
 	if err != nil {
 		return err
 	}
+	dur := time.Since(begin)
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.ingest(z)
+	return p.ingest(z, dur)
 }
 
 // COTs draws n correlations, waiting for (or, when Depth == 0,
@@ -354,6 +368,7 @@ func (p *Sender) COTs(n int) ([]block.Block, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.stats.Draws++
+	p.cfg.Obs.noteDraw()
 	if p.cfg.Depth <= 0 {
 		for p.buf.ready() < n {
 			if p.closed {
@@ -362,20 +377,22 @@ func (p *Sender) COTs(n int) ([]block.Block, error) {
 			if p.err != nil {
 				return nil, p.err
 			}
+			begin := time.Now()
 			z, err := p.src()
 			if err == nil {
-				err = p.ingest(z)
+				err = p.ingest(z, time.Since(begin))
 			}
 			if err != nil {
 				p.err = err
 				return nil, err
 			}
 		}
-	} else if err := p.await(n, p.buf.ready, &p.stats, nil, nil); err != nil {
+	} else if err := p.await(n, p.buf.ready, &p.stats, p.cfg.Obs, nil, nil); err != nil {
 		return nil, err
 	}
 	out := p.buf.pop(n)
 	p.stats.Dispensed += uint64(n)
+	p.cfg.Obs.noteDispensed(n, p.buf.ready())
 	p.cond.Broadcast() // the draw may have crossed the low-water mark
 	return out, nil
 }
@@ -420,7 +437,7 @@ func NewReceiver(src ReceiverSource, cfg Config) *Receiver {
 }
 
 // ingest appends one source batch; called with mu held.
-func (p *Receiver) ingest(bits []bool, blocks []block.Block) error {
+func (p *Receiver) ingest(bits []bool, blocks []block.Block, dur time.Duration) error {
 	if len(bits) != len(blocks) {
 		return fmt.Errorf("pool: source bits/blocks mismatch %d/%d", len(bits), len(blocks))
 	}
@@ -430,17 +447,20 @@ func (p *Receiver) ingest(bits []bool, blocks []block.Block) error {
 	p.buf.push(bits, blocks)
 	p.stats.Refills++
 	p.stats.Generated += uint64(len(bits))
+	p.cfg.Obs.noteRefill(len(bits), p.buf.ready(), dur)
 	return nil
 }
 
 func (p *Receiver) refill() error {
+	begin := time.Now()
 	bits, blocks, err := p.src()
 	if err != nil {
 		return err
 	}
+	dur := time.Since(begin)
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.ingest(bits, blocks)
+	return p.ingest(bits, blocks, dur)
 }
 
 // COTs draws n correlations: choice bits and matching r_b blocks.
@@ -451,6 +471,7 @@ func (p *Receiver) COTs(n int) ([]bool, []block.Block, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.stats.Draws++
+	p.cfg.Obs.noteDraw()
 	if p.cfg.Depth <= 0 {
 		for p.buf.ready() < n {
 			if p.closed {
@@ -459,20 +480,22 @@ func (p *Receiver) COTs(n int) ([]bool, []block.Block, error) {
 			if p.err != nil {
 				return nil, nil, p.err
 			}
+			begin := time.Now()
 			bits, blocks, err := p.src()
 			if err == nil {
-				err = p.ingest(bits, blocks)
+				err = p.ingest(bits, blocks, time.Since(begin))
 			}
 			if err != nil {
 				p.err = err
 				return nil, nil, err
 			}
 		}
-	} else if err := p.await(n, p.buf.ready, &p.stats, nil, nil); err != nil {
+	} else if err := p.await(n, p.buf.ready, &p.stats, p.cfg.Obs, nil, nil); err != nil {
 		return nil, nil, err
 	}
 	bits, blocks := p.buf.pop(n)
 	p.stats.Dispensed += uint64(n)
+	p.cfg.Obs.noteDispensed(n, p.buf.ready())
 	p.cond.Broadcast()
 	return bits, blocks, nil
 }
@@ -589,18 +612,20 @@ func (p *Dealt) stalled() error {
 }
 
 func (p *Dealt) refill() error {
+	begin := time.Now()
 	z, bits, y, err := p.src()
 	if err != nil {
 		return err
 	}
+	dur := time.Since(begin)
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.ingest(z, bits, y)
+	return p.ingest(z, bits, y, dur)
 }
 
 // ingest appends one lockstep batch to both halves; called with mu
 // held.
-func (p *Dealt) ingest(z []block.Block, bits []bool, y []block.Block) error {
+func (p *Dealt) ingest(z []block.Block, bits []bool, y []block.Block, dur time.Duration) error {
 	if len(z) != len(bits) || len(z) != len(y) {
 		return fmt.Errorf("pool: dealt source length mismatch %d/%d/%d", len(z), len(bits), len(y))
 	}
@@ -613,10 +638,12 @@ func (p *Dealt) ingest(z []block.Block, bits []bool, y []block.Block) error {
 	p.rstats.Refills++
 	p.sstats.Generated += uint64(len(z))
 	p.rstats.Generated += uint64(len(z))
+	p.cfg.Obs.noteRefill(len(z), p.sbuf.ready(), dur)
+	p.cfg.ObsReceiver.noteRefill(len(z), p.rbuf.ready(), dur)
 	return nil
 }
 
-func (p *Dealt) syncFill(need func() int) error {
+func (p *Dealt) syncFill(need func() int, o *Observer) error {
 	for need() < 0 {
 		if p.closed {
 			return ErrClosed
@@ -625,11 +652,13 @@ func (p *Dealt) syncFill(need func() int) error {
 			return p.err
 		}
 		if err := p.stalled(); err != nil {
+			o.noteStalled()
 			return err
 		}
+		begin := time.Now()
 		z, bits, y, err := p.src()
 		if err == nil {
-			err = p.ingest(z, bits, y)
+			err = p.ingest(z, bits, y, time.Since(begin))
 		}
 		if err != nil {
 			p.err = err
@@ -647,18 +676,20 @@ func (p *Dealt) SenderCOTs(n int) ([]block.Block, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.sstats.Draws++
+	p.cfg.Obs.noteDraw()
 	if p.cfg.Depth <= 0 {
 		p.demandS = n
-		err := p.syncFill(func() int { return p.sbuf.ready() - n })
+		err := p.syncFill(func() int { return p.sbuf.ready() - n }, p.cfg.Obs)
 		p.demandS = 0
 		if err != nil {
 			return nil, err
 		}
-	} else if err := p.await(n, p.sbuf.ready, &p.sstats, p.stalled, &p.demandS); err != nil {
+	} else if err := p.await(n, p.sbuf.ready, &p.sstats, p.cfg.Obs, p.stalled, &p.demandS); err != nil {
 		return nil, err
 	}
 	out := p.sbuf.pop(n)
 	p.sstats.Dispensed += uint64(n)
+	p.cfg.Obs.noteDispensed(n, p.sbuf.ready())
 	p.cond.Broadcast()
 	return out, nil
 }
@@ -671,18 +702,20 @@ func (p *Dealt) ReceiverCOTs(n int) ([]bool, []block.Block, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.rstats.Draws++
+	p.cfg.ObsReceiver.noteDraw()
 	if p.cfg.Depth <= 0 {
 		p.demandR = n
-		err := p.syncFill(func() int { return p.rbuf.ready() - n })
+		err := p.syncFill(func() int { return p.rbuf.ready() - n }, p.cfg.ObsReceiver)
 		p.demandR = 0
 		if err != nil {
 			return nil, nil, err
 		}
-	} else if err := p.await(n, p.rbuf.ready, &p.rstats, p.stalled, &p.demandR); err != nil {
+	} else if err := p.await(n, p.rbuf.ready, &p.rstats, p.cfg.ObsReceiver, p.stalled, &p.demandR); err != nil {
 		return nil, nil, err
 	}
 	bits, blocks := p.rbuf.pop(n)
 	p.rstats.Dispensed += uint64(n)
+	p.cfg.ObsReceiver.noteDispensed(n, p.rbuf.ready())
 	p.cond.Broadcast()
 	return bits, blocks, nil
 }

@@ -29,6 +29,7 @@ import (
 	"ironman/internal/cot"
 	"ironman/internal/ferret"
 	"ironman/internal/gmw"
+	"ironman/internal/obs"
 	"ironman/internal/parallel"
 	"ironman/internal/pool"
 	"ironman/internal/prg"
@@ -46,6 +47,15 @@ type Stats = transport.Stats
 
 // Pipe returns two connected in-process endpoints.
 func Pipe() (Conn, Conn) { return transport.Pipe() }
+
+// Tracer re-exports the phase-trace recorder (internal/obs) so callers
+// outside the module can drive Options.Trace.
+type Tracer = obs.Tracer
+
+// NewTracer returns an enabled trace recorder; hand it to
+// Options.Trace on any number of endpoints (thread ids keep the two
+// protocol roles apart) and serialize with Tracer.WriteFile.
+func NewTracer() *Tracer { return obs.NewTracer() }
 
 // NewTCPConn frames an established network connection.
 func NewTCPConn(nc net.Conn) Conn { return transport.NewTCP(nc) }
@@ -101,6 +111,14 @@ type Options struct {
 	// disables the cap. Only meaningful for NewDealtPair endpoints
 	// with Prefetch > 0.
 	MaxBuffered int
+	// Trace, when non-nil, records the Extend phase timeline (GGM
+	// expansion, puncture flights, LPN encode) plus the conversion
+	// hash ("crhf.hash") of this endpoint into a Chrome trace-event
+	// document (internal/obs; write it with Tracer.WriteFile and open
+	// in chrome://tracing or Perfetto). Tracing never touches the wire
+	// transcript; nil — the default — compiles down to a nil check on
+	// the hot paths.
+	Trace *obs.Tracer
 	// Dealer skips the base-OT/IKNP initialization using local
 	// randomness — NOT secure, for tests and benchmarks only, and only
 	// valid with endpoints created through NewDealtPair.
@@ -108,7 +126,7 @@ type Options struct {
 }
 
 func (o Options) ferretOpts() ferret.Options {
-	fo := ferret.Options{Workers: o.Workers}
+	fo := ferret.Options{Workers: o.Workers, Trace: o.Trace}
 	if !o.FourAryChaCha {
 		fo.PRG = prg.New(prg.AES, 2)
 	}
@@ -200,6 +218,7 @@ type Sender struct {
 	peerConn Conn
 	busy     *atomic.Bool
 	workers  int
+	trace    *obs.Tracer
 }
 
 // Receiver holds choice bits and r_b blocks.
@@ -212,12 +231,13 @@ type Receiver struct {
 	peerConn Conn
 	busy     *atomic.Bool
 	workers  int
+	trace    *obs.Tracer
 }
 
 func newSender(f *ferret.Sender, conn Conn, opts Options) *Sender {
 	s := &Sender{
 		f: f, p: pool.NewSender(f.Extend, opts.poolCfg()), h: aesprg.NewHash(),
-		conn: conn, busy: new(atomic.Bool), workers: opts.Workers,
+		conn: conn, busy: new(atomic.Bool), workers: opts.Workers, trace: opts.Trace,
 	}
 	s.busy.Store(opts.Prefetch > 0)
 	return s
@@ -233,7 +253,7 @@ func newReceiver(f *ferret.Receiver, conn Conn, opts Options) *Receiver {
 	}
 	r := &Receiver{
 		f: f, p: pool.NewReceiver(src, opts.poolCfg()), h: aesprg.NewHash(),
-		conn: conn, busy: new(atomic.Bool), workers: opts.Workers,
+		conn: conn, busy: new(atomic.Bool), workers: opts.Workers, trace: opts.Trace,
 	}
 	r.busy.Store(opts.Prefetch > 0)
 	return r
@@ -294,9 +314,9 @@ func NewDealtPair(connS, connR Conn, delta Block, params Params, opts Options) (
 		busy := new(atomic.Bool)
 		busy.Store(true)
 		s := &Sender{f: fs, p: dealtSenderHalf{d}, h: aesprg.NewHash(),
-			conn: connS, peerConn: connR, busy: busy, workers: opts.Workers}
+			conn: connS, peerConn: connR, busy: busy, workers: opts.Workers, trace: opts.Trace}
 		r := &Receiver{f: fr, p: dealtReceiverHalf{d}, h: aesprg.NewHash(),
-			conn: connR, peerConn: connS, busy: busy, workers: opts.Workers}
+			conn: connR, peerConn: connS, busy: busy, workers: opts.Workers, trace: opts.Trace}
 		return s, r, nil
 	}
 	return newSender(fs, connS, opts), newReceiver(fr, connR, opts), nil
@@ -399,13 +419,21 @@ func (s *Sender) RandomOTs(n int) ([][2]Block, error) {
 	out := make([][2]Block, n)
 	base := s.otct
 	s.otct += uint64(n)
-	parallel.Shard(hashWorkers(s.workers, n), n, func(lo, hi int) {
+	hash := s.trace.Span("crhf.hash", "convert", ferret.SenderTID)
+	parallel.ShardIndexed(hashWorkers(s.workers, n), n, func(shard, lo, hi int) {
+		sp := s.trace.Span("crhf.hash", "convert.worker", ferret.SenderTID+1+shard)
 		for i := lo; i < hi; i++ {
 			tweak := base + uint64(i)
 			out[i][0] = s.h.Sum(r0[i], tweak)
 			out[i][1] = s.h.Sum(r0[i].Xor(s.f.Delta), tweak)
 		}
+		if sp.Live() {
+			sp.EndArgs(map[string]any{"ots": hi - lo})
+		}
 	})
+	if hash.Live() {
+		hash.EndArgs(map[string]any{"ots": n})
+	}
 	return out, nil
 }
 
@@ -418,11 +446,19 @@ func (r *Receiver) RandomOTs(n int) ([]bool, []Block, error) {
 	out := make([]Block, n)
 	base := r.otct
 	r.otct += uint64(n)
-	parallel.Shard(hashWorkers(r.workers, n), n, func(lo, hi int) {
+	hash := r.trace.Span("crhf.hash", "convert", ferret.ReceiverTID)
+	parallel.ShardIndexed(hashWorkers(r.workers, n), n, func(shard, lo, hi int) {
+		sp := r.trace.Span("crhf.hash", "convert.worker", ferret.ReceiverTID+1+shard)
 		for i := lo; i < hi; i++ {
 			out[i] = r.h.Sum(blks[i], base+uint64(i))
 		}
+		if sp.Live() {
+			sp.EndArgs(map[string]any{"ots": hi - lo})
+		}
 	})
+	if hash.Live() {
+		hash.EndArgs(map[string]any{"ots": n})
+	}
 	return bits, out, nil
 }
 

@@ -10,6 +10,16 @@
 # per triple, matmul GFLOP-equivalent; extend: the multicore Extend
 # worker-scaling curve, COT/s and bytes per COT at workers=1,2,4,8) as
 # a BENCH_*.json trajectory point instead of printing them.
+#
+# The committed trajectory point lives at the repo root; to refresh it
+# after a perf-relevant change, run
+#
+#   BENCH_JSON=BENCH_extend.json ./scripts/ci.sh
+#
+# on a quiet machine and commit the regenerated file alongside the
+# change (numbers are machine-dependent — compare trends, not runs
+# from different hosts). TRACE_JSON=path additionally archives the
+# extend phase-span trace (Chrome trace-event JSON) from the same run.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -34,6 +44,32 @@ trap 'rm -rf "$bindir"' EXIT
 go build -o "$bindir/" ./examples/... ./cmd/...
 ls "$bindir"
 
+echo "== otd admin endpoint smoke test =="
+# Boot the dispenser with its admin listener on loopback, then hit the
+# observability surface end-to-end: liveness, Prometheus exposition
+# (known metric families must be present), and the JSON session dump.
+"$bindir/otd" -listen 127.0.0.1:17117 -admin 127.0.0.1:17118 &
+otd_pid=$!
+trap 'kill "$otd_pid" 2>/dev/null || true; rm -rf "$bindir"' EXIT
+i=0
+until curl -sf http://127.0.0.1:17118/healthz >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "otd admin endpoint never came up" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+curl -sf http://127.0.0.1:17118/healthz | grep -q '^ok$'
+metrics=$(curl -sf http://127.0.0.1:17118/metrics)
+echo "$metrics" | grep -q '^ironman_otserv_sessions 0$'
+echo "$metrics" | grep -q '^ironman_otserv_sessions_opened_total 0$'
+echo "$metrics" | grep -q '^ironman_otserv_sessions_closed_total 0$'
+curl -sf http://127.0.0.1:17118/sessions | grep -q '"sessions"'
+kill "$otd_pid"
+wait "$otd_pid" 2>/dev/null || true
+echo "admin endpoint OK"
+
 echo "== go test -race (includes the gmw + arith engines and the TCP pipeline) =="
 go test -race ./...
 
@@ -41,11 +77,21 @@ echo "== engine metrics (ironman-bench -exp gmw,arith,extend -json) =="
 # One document carries the gmw metrics (AND/s, B/AND, wire reduction),
 # the arith metrics (triples/s, B/triple, matmul GFLOP-equiv), and the
 # extend worker-scaling curve (COT/s per worker count, constant B/COT).
+trace_json=${TRACE_JSON:-$bindir/extend-trace.json}
 if [ -n "${BENCH_JSON:-}" ]; then
-    go run ./cmd/ironman-bench -quick -exp gmw,arith,extend -json > "$BENCH_JSON"
+    go run ./cmd/ironman-bench -quick -exp gmw,arith,extend -json -trace "$trace_json" > "$BENCH_JSON"
     echo "archived to $BENCH_JSON"
 else
-    go run ./cmd/ironman-bench -quick -exp gmw,arith,extend -json
+    go run ./cmd/ironman-bench -quick -exp gmw,arith,extend -json -trace "$trace_json"
 fi
+
+echo "== trace artifact sanity (chrome trace-event JSON) =="
+# The extend bench above also emitted its phase spans; the artifact
+# must be well-formed and contain the span taxonomy DESIGN.md names.
+grep -q '"traceEvents"' "$trace_json"
+grep -q '"extend"' "$trace_json"
+grep -q '"lpn.encode"' "$trace_json"
+grep -q '"spcot.expand"' "$trace_json"
+echo "trace artifact OK ($trace_json)"
 
 echo "CI OK"
