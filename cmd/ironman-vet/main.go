@@ -1,0 +1,18 @@
+// Command ironman-vet is the multichecker binary for the repo's
+// protocol-invariant analysis suite (internal/analysis). It speaks the
+// go vet unitchecker protocol, so it runs as
+//
+//	go build -o "$(go env GOPATH)/bin/ironman-vet" ./cmd/ironman-vet
+//	go vet -vettool=$(which ironman-vet) ./...
+//
+// scripts/ci.sh builds and runs it on every CI pass. Suppress audited
+// findings with //ironman:allow(<analyzer>) <reason>.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"ironman/internal/analysis"
+)
+
+func main() { unitchecker.Main(analysis.Analyzers...) }

@@ -81,7 +81,9 @@ func main() {
 	go func() {
 		<-sig
 		log.Print("otd: shutting down")
-		srv.Close()
+		if err := srv.Close(); err != nil {
+			log.Printf("otd: close: %v", err)
+		}
 	}()
 	if err := srv.Serve(ln); err != nil {
 		log.Fatal(err)
@@ -93,7 +95,11 @@ func dumpStats(addr string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer c.Close()
+	defer func() {
+		if err := c.Close(); err != nil {
+			log.Printf("otd: close: %v", err)
+		}
+	}()
 	dump, err := c.ServerStats()
 	if err != nil {
 		log.Fatal(err)

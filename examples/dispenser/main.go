@@ -34,8 +34,17 @@ func main() {
 	}
 	reg := obs.NewRegistry()
 	srv := otserv.NewServer(otserv.Config{DefaultParams: "2^20", Depth: 2, Registry: reg})
-	go srv.Serve(ln)
-	defer srv.Close()
+	go func() {
+		// Serve returns nil once Close shuts the listener down.
+		if err := srv.Serve(ln); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	defer func() {
+		if err := srv.Close(); err != nil {
+			log.Printf("dispenser: close: %v", err)
+		}
+	}()
 	addr := ln.Addr().String()
 	fmt.Printf("dispenser on %s\n", addr)
 
@@ -45,7 +54,9 @@ func main() {
 	var clients []*otserv.Client
 	defer func() {
 		for _, c := range clients {
-			c.Close()
+			if err := c.Close(); err != nil {
+				log.Printf("dispenser: client close: %v", err)
+			}
 		}
 	}()
 	for i := 0; i < sessions; i++ {

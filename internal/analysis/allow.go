@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// The suppression directive. A finding is suppressed by writing
+//
+//	//ironman:allow(<analyzer>[,<analyzer>...]) <reason>
+//
+// either trailing the offending line or on the line immediately above
+// it. The reason is mandatory: a directive without one does not
+// suppress — the finding is reported with a note instead — so every
+// silenced invariant violation carries its audit trail in the source.
+const allowPrefix = "ironman:allow("
+
+var allowRe = regexp.MustCompile(`^ironman:allow\(([^)]*)\)[ \t]*(.*)$`)
+
+// ParseAllow parses one comment's text (with the // or /* */ markers
+// already stripped, as go/ast stores it) as a suppression directive.
+// ok reports whether the text is an ironman:allow directive at all;
+// names and reason are its parsed parts (reason may be empty, which
+// report treats as malformed).
+func ParseAllow(text string) (names []string, reason string, ok bool) {
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, allowPrefix) {
+		return nil, "", false
+	}
+	m := allowRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil, "", false
+	}
+	for _, n := range strings.Split(m[1], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, strings.TrimSpace(m[2]), true
+}
+
+// allowDirective is one parsed directive anchored to a source line.
+type allowDirective struct {
+	names  []string
+	reason string
+	pos    token.Pos
+}
+
+func (d *allowDirective) covers(analyzer string) bool {
+	for _, n := range d.names {
+		if n == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// allowIndex maps file name -> line -> directives claiming that line.
+// A directive claims its own line and the following one, so both
+// trailing and preceding-line placement work.
+type allowIndex map[string]map[int][]*allowDirective
+
+// buildAllowIndex scans every comment in the pass's files.
+func buildAllowIndex(pass *analysis.Pass) allowIndex {
+	idx := make(allowIndex)
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSuffix(text, "*/")
+				names, reason, ok := ParseAllow(text)
+				if !ok {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				d := &allowDirective{names: names, reason: reason, pos: c.Pos()}
+				lines := idx[p.Filename]
+				if lines == nil {
+					lines = make(map[int][]*allowDirective)
+					idx[p.Filename] = lines
+				}
+				lines[p.Line] = append(lines[p.Line], d)
+				lines[p.Line+1] = append(lines[p.Line+1], d)
+			}
+		}
+	}
+	return idx
+}
+
+// at returns the directive covering the given position for analyzer,
+// or nil.
+func (idx allowIndex) at(pos token.Position, analyzer string) *allowDirective {
+	for _, d := range idx[pos.Filename][pos.Line] {
+		if d.covers(analyzer) {
+			return d
+		}
+	}
+	return nil
+}
+
+// report emits a diagnostic unless an ironman:allow directive with a
+// non-empty reason covers the position for this analyzer.
+func report(pass *analysis.Pass, idx allowIndex, pos token.Pos, msg string) {
+	p := pass.Fset.Position(pos)
+	if d := idx.at(p, pass.Analyzer.Name); d != nil {
+		if d.reason != "" {
+			return // audited suppression
+		}
+		pass.Reportf(pos, "%s [an ironman:allow directive must carry a reason]", msg)
+		return
+	}
+	pass.Reportf(pos, "%s", msg)
+}
+
+// isTestFile reports whether the file is a _test.go file; the suite
+// checks protocol code, not tests.
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	name := pass.Fset.Position(f.Pos()).Filename
+	return strings.HasSuffix(name, "_test.go")
+}

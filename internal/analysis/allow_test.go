@@ -1,0 +1,35 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text   string
+		names  []string
+		reason string
+		ok     bool
+	}{
+		{"ironman:allow(detrange) map order is rendered client-side", []string{"detrange"}, "map order is rendered client-side", true},
+		{" ironman:allow(randsrc) leading space is fine", []string{"randsrc"}, "leading space is fine", true},
+		{"ironman:allow(detrange,randsrc) two analyzers, one audit", []string{"detrange", "randsrc"}, "two analyzers, one audit", true},
+		{"ironman:allow( wireerr , locknet )\ttabs and spaces", []string{"wireerr", "locknet"}, "tabs and spaces", true},
+		{"ironman:allow(secretleak)", []string{"secretleak"}, "", true},
+		{"ironman:allow(secretleak)   ", []string{"secretleak"}, "", true},
+		{"ironman:allow()", nil, "", true},
+		{"ironman:allow(a,)", []string{"a"}, "", true},
+		{"ironman:allowed(detrange) not the directive", nil, "", false},
+		{"go:generate ironman-vet", nil, "", false},
+		{"plain comment", nil, "", false},
+		{"ironman:allow no parens", nil, "", false},
+	}
+	for _, c := range cases {
+		names, reason, ok := ParseAllow(c.text)
+		if ok != c.ok || reason != c.reason || !reflect.DeepEqual(names, c.names) {
+			t.Errorf("ParseAllow(%q) = %v, %q, %v; want %v, %q, %v",
+				c.text, names, reason, ok, c.names, c.reason, c.ok)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package analysis
+
+import "testing"
+
+func TestDetrange(t *testing.T)   { runFixture(t, Detrange, "ironman/internal/detfix") }
+func TestRandsrc(t *testing.T)    { runFixture(t, Randsrc, "ironman/internal/randfix") }
+func TestSecretleak(t *testing.T) { runFixture(t, Secretleak, "ironman/internal/leakfix") }
+func TestWireerr(t *testing.T)    { runFixture(t, Wireerr, "ironman/internal/wirefix") }
+func TestLocknet(t *testing.T)    { runFixture(t, Locknet, "ironman/internal/lockfix") }
+
+// TestStubsClean runs every analyzer over the stub packages: compliant
+// code must produce zero diagnostics.
+func TestStubsClean(t *testing.T) {
+	for _, path := range []string{
+		"ironman/internal/transport",
+		"ironman/internal/block",
+		"ironman/internal/obs",
+	} {
+		for _, a := range Analyzers {
+			runFixture(t, a, path)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+// Package block is a stub of the real ironman/internal/block; only the
+// Block type identity matters to secretleak.
+package block
+
+// Size is the block width in bytes.
+const Size = 16
+
+// Block is a 128-bit correlation block.
+type Block struct{ Hi, Lo uint64 }

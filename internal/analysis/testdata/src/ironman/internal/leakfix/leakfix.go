@@ -1,0 +1,83 @@
+// Package leakfix exercises secretleak: secret-named values and
+// correlation blocks reaching fmt/log/obs sinks fire; benign
+// projections, lengths, package qualifiers, and propagated errors stay
+// silent.
+package leakfix
+
+import (
+	"errors"
+	"fmt"
+	"go/token"
+	"log"
+
+	"ironman/internal/block"
+	"ironman/internal/obs"
+)
+
+func logDelta(delta block.Block) {
+	fmt.Printf("delta=%v\n", delta) // want "delta flows into fmt.Printf"
+}
+
+func labelToken(tokenS string) string {
+	return obs.Labels("session", tokenS) // want "tokenS flows into obs.Labels"
+}
+
+func seedErr(seed []byte) error {
+	return fmt.Errorf("bad seed %x", seed) // want "seed flows into fmt.Errorf"
+}
+
+// limbs leaks both halves of a block through field selection.
+func limbs(b block.Block) string {
+	return fmt.Sprintf("%x%x", b.Hi, b.Lo) // want "correlation value flows into fmt.Sprintf" "correlation value flows into fmt.Sprintf"
+}
+
+// propagate taints a local through assignment.
+func propagate(delta block.Block) {
+	d2 := delta
+	log.Print(d2) // want "d2 flows into log.Print"
+}
+
+// okLen: the length of a secret buffer is a benign size.
+func okLen(seed []byte) {
+	log.Printf("seed length %d", len(seed))
+}
+
+// okErr: an error returned by a call that consumed the secret is not
+// itself the secret.
+func okErr(seed []byte) {
+	err := useSeed(seed)
+	if err != nil {
+		log.Print(err)
+	}
+}
+
+func useSeed(seed []byte) error {
+	if len(seed) == 0 {
+		return errors.New("empty")
+	}
+	return nil
+}
+
+// okQualifier: a package named like a secret (go/token) is a
+// qualifier, not a value.
+func okQualifier() {
+	fset := token.NewFileSet()
+	log.Print(fset.Base())
+}
+
+type sess struct {
+	id     int
+	tokenS string
+}
+
+// okProjection: selecting a benign field out of a struct that also
+// holds secrets does not leak them.
+func okProjection(s *sess) {
+	log.Printf("session %d", s.id)
+}
+
+// audited carries a justified suppression.
+func audited(delta block.Block) {
+	//ironman:allow(secretleak) fixture: audited debug dump behind a build tag
+	fmt.Println(delta)
+}

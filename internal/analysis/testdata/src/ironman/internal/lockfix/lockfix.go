@@ -1,0 +1,68 @@
+// Package lockfix exercises locknet: transport I/O and send-reaching
+// calls inside a mutex-held region fire; I/O after Unlock, in function
+// literals, and with an audited reason stay silent.
+package lockfix
+
+import (
+	"sync"
+
+	"ironman/internal/transport"
+)
+
+type box struct {
+	mu sync.Mutex
+	c  transport.Conn
+}
+
+func (b *box) bad(p []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.c.Send(p) // want "transport.Send while holding b.mu"
+}
+
+func (b *box) badRecv() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, err := b.c.Recv() // want "transport.Recv while holding b.mu"
+	return err
+}
+
+// good stages under the lock and sends outside it.
+func (b *box) good(p []byte) error {
+	b.mu.Lock()
+	req := append([]byte(nil), p...)
+	b.mu.Unlock()
+	return b.c.Send(req)
+}
+
+// viaHelper reaches a send through a same-package call.
+func (b *box) viaHelper(p []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_ = b.roundTrip(p) // want "reaches a transport send\) while holding b.mu"
+}
+
+func (b *box) roundTrip(p []byte) error {
+	if err := b.c.Send(p); err != nil {
+		return err
+	}
+	_, err := b.c.Recv()
+	return err
+}
+
+// goroutine bodies run on their own call path, outside this critical
+// section.
+func (b *box) funcLit(p []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		_ = b.c.Send(p)
+	}()
+}
+
+func (b *box) audited(p []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//ironman:allow(locknet) fixture: this mutex is the connection serializer
+	return b.c.Send(p)
+}

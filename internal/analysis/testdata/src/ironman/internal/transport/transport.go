@@ -1,0 +1,15 @@
+// Package transport is a stub of the real ironman/internal/transport:
+// the fixtures only need the import path and the Send/Recv/Close
+// surface the analyzers key on.
+package transport
+
+import "io"
+
+// Conn mirrors the real transport.Conn: Send/Recv declared directly,
+// Close promoted from an embedded stdlib interface (which is exactly
+// the shape wireerr's receiver-type fallback exists for).
+type Conn interface {
+	Send(b []byte) error
+	Recv() ([]byte, error)
+	io.Closer
+}

@@ -1,0 +1,26 @@
+// Package wirefix exercises wireerr: silently discarded errors from
+// ironman protocol calls fire; handled errors and explicit _ discards
+// stay silent.
+package wirefix
+
+import "ironman/internal/transport"
+
+func flush(c transport.Conn, b []byte) error { return c.Send(b) }
+
+func drop(c transport.Conn, b []byte) {
+	c.Send(b)       // want "call error from transport.Send is silently discarded"
+	defer c.Close() // want "deferred error from transport.Conn.Close is silently discarded"
+	go flush(c, b)  // want "go-statement error from wirefix.flush is silently discarded"
+}
+
+func explicit(c transport.Conn, b []byte) {
+	_ = c.Send(b)
+	if err := c.Send(b); err != nil {
+		_ = err
+	}
+}
+
+func audited(c transport.Conn) {
+	//ironman:allow(wireerr) fixture: best-effort close on an already-failed conn
+	c.Close()
+}

@@ -1,0 +1,33 @@
+package analysis
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestModuleVetClean runs the whole ironman-vet suite over the whole
+// module in-process, so a plain `go test ./...` enforces the protocol
+// invariants even when nobody wires up the vettool. Every finding here
+// is a regression: pre-existing ones were fixed or carry an audited
+// //ironman:allow directive.
+func TestModuleVetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-module analysis in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go tool not on PATH: %v", err)
+	}
+	findings, err := CheckModule("../..", Analyzers)
+	if err != nil {
+		t.Fatalf("CheckModule: %v", err)
+	}
+	if len(findings) > 0 {
+		var lines []string
+		for _, f := range findings {
+			lines = append(lines, f.String())
+		}
+		t.Errorf("ironman-vet found %d invariant violation(s); fix them or add //ironman:allow(<analyzer>) <reason>:\n%s",
+			len(findings), strings.Join(lines, "\n"))
+	}
+}

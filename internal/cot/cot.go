@@ -446,6 +446,7 @@ func abOnePRG() prg.PRG { return prg.New(prg.AES, 2) }
 // must be a power of two >= 2. Consumes log2(len(msgs)) COTs.
 func SendAllButOne(conn transport.Conn, pool *SenderPool, h *aesprg.Hash, msgs []block.Block) error {
 	var seedBytes [block.Size]byte
+	//ironman:allow(randsrc) the gadget tree root must be fresh system entropy per transfer; the deterministic variant is SendAllButOneSeeded
 	if _, err := rand.Read(seedBytes[:]); err != nil {
 		return err
 	}
@@ -532,6 +533,7 @@ func ReceiveAllButOne(conn transport.Conn, pool *ReceiverPool, h *aesprg.Hash, m
 // initialization goes through internal/iknp (see ferret.NewSender).
 func RandomPools(n int) (*SenderPool, *ReceiverPool, error) {
 	var deltaBytes [block.Size]byte
+	//ironman:allow(randsrc) trusted-dealer shortcut for tests and benchmarks; production initialization flows through internal/iknp setup
 	if _, err := rand.Read(deltaBytes[:]); err != nil {
 		return nil, nil, err
 	}
@@ -541,6 +543,7 @@ func RandomPools(n int) (*SenderPool, *ReceiverPool, error) {
 // RandomPoolsWithDelta is RandomPools under a caller-chosen Δ.
 func RandomPoolsWithDelta(delta block.Block, n int) (*SenderPool, *ReceiverPool, error) {
 	buf := make([]byte, block.Size*n+(n+7)/8)
+	//ironman:allow(randsrc) trusted-dealer shortcut for tests and benchmarks; production initialization flows through internal/iknp setup
 	if _, err := rand.Read(buf); err != nil {
 		return nil, nil, err
 	}

@@ -93,8 +93,8 @@ func ExtendBench(o Options) ExtendResult {
 			WireBytes:   wire,
 			BytesPerCOT: float64(wire) / cots,
 		})
-		connS.Close()
-		connR.Close()
+		_ = connS.Close()
+		_ = connR.Close()
 	}
 	base := res.Points[0]
 	for i := range res.Points {

@@ -95,6 +95,7 @@ func (c Config) RandomAlphas() ([]int, error) {
 	alphas := make([]int, c.T)
 	for i := range alphas {
 		lo, hi := c.noiseSpan(i)
+		//ironman:allow(randsrc) the receiver's punctured positions are its secret noise and must be fresh system entropy; the seeded variant is AlphasFrom
 		v, err := rand.Int(rand.Reader, big.NewInt(int64(hi-lo)))
 		if err != nil {
 			return nil, err
@@ -121,6 +122,7 @@ func (c Config) AlphasFrom(s *aesprg.Stream) []int {
 // crypto/rand.
 func (c Config) RandomSeeds() ([]block.Block, error) {
 	buf := make([]byte, c.T*block.Size)
+	//ironman:allow(randsrc) fresh GGM root seeds per extend are protocol randomness by design; deterministic runs pass explicit seeds via SendWith/RecvWith
 	if _, err := rand.Read(buf); err != nil {
 		return nil, err
 	}

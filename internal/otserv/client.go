@@ -46,9 +46,11 @@ func (c *Client) Close() error {
 func (c *Client) roundTrip(req []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	//ironman:allow(locknet) c.mu is the connection serializer: request/response framing needs exclusive conn access, and concurrent draws use separate clients
 	if err := c.conn.Send(req); err != nil {
 		return nil, err
 	}
+	//ironman:allow(locknet) same framing invariant as the Send above — the reply must be read before the next request goes out
 	resp, err := c.conn.Recv()
 	if err != nil {
 		return nil, err

@@ -168,7 +168,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close()
 			return nil
 		}
 		s.conns[conn] = struct{}{}
@@ -189,7 +189,7 @@ func (s *Server) Close() error {
 	s.closed = true
 	ln := s.ln
 	for conn := range s.conns {
-		conn.Close()
+		_ = conn.Close()
 	}
 	s.mu.Unlock()
 	if ln != nil {
@@ -219,12 +219,17 @@ func (s *Server) handleConn(conn transport.Conn) {
 	defer s.wg.Done()
 	owned := make(map[uint64]*attachment)
 	defer func() {
-		conn.Close()
+		_ = conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
-		for id, at := range owned {
-			for i := 0; i < at.count; i++ {
+		ids := make([]uint64, 0, len(owned))
+		for id := range owned {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			for i := 0; i < owned[id].count; i++ {
 				s.deref(id)
 			}
 		}
@@ -365,8 +370,8 @@ func (s *Server) openSession(name string, params ferret.Params, req helloReq, de
 	connA, connB := transport.Pipe()
 	fs, fr, err := ferret.DealPools(connA, connB, delta, params, fo)
 	if err != nil {
-		connA.Close()
-		connB.Close()
+		_ = connA.Close()
+		_ = connB.Close()
 		return nil, err
 	}
 	src := func() ([]block.Block, []bool, []block.Block, error) {
@@ -390,14 +395,14 @@ func (s *Server) openSession(name string, params ferret.Params, req helloReq, de
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		connA.Close()
-		connB.Close()
+		_ = connA.Close()
+		_ = connB.Close()
 		return nil, errors.New("otserv: server closed")
 	}
 	if len(s.sessions) >= s.cfg.MaxSessions {
 		s.mu.Unlock()
-		connA.Close()
-		connB.Close()
+		_ = connA.Close()
+		_ = connB.Close()
 		return nil, fmt.Errorf("otserv: session limit %d reached", s.cfg.MaxSessions)
 	}
 	s.nextID++
@@ -596,9 +601,9 @@ func (s *Server) deref(id uint64) {
 // pool.Close completes the in-flight lockstep iteration first (the
 // worker drives both pipe endpoints, so it cannot wedge).
 func (s *Server) teardown(sess *session) {
-	sess.pool.Close()
-	sess.connA.Close()
-	sess.connB.Close()
+	_ = sess.pool.Close()
+	_ = sess.connA.Close()
+	_ = sess.connB.Close()
 	key := "{" + sess.labels + ","
 	s.reg.Drop(func(name string) bool { return strings.Contains(name, key) })
 }

@@ -129,6 +129,7 @@ func (t *SenderTree) SendFlights(conn transport.Conn, pool *cot.SenderPool, h *a
 // the leaf vector w. The sender's Δ is pool.Delta.
 func Send(conn transport.Conn, pool *cot.SenderPool, h *aesprg.Hash, p prg.PRG, leaves int) ([]block.Block, error) {
 	var seedBytes [block.Size]byte
+	//ironman:allow(randsrc) the GGM tree root must be fresh system entropy per execution; the deterministic variant is SendWithSeed
 	if _, err := rand.Read(seedBytes[:]); err != nil {
 		return nil, err
 	}
