@@ -5,14 +5,18 @@
 //	ironman-bench [-quick] [-exp name[,name...]] [-json]
 //
 // Experiment names: fig1a fig1b fig1c fig7 fig8 fig12 fig13 fig14
-// fig15 fig16 table2 table4 table5 table6 gmw arith extend all
-// (default all); -exp accepts a comma-separated list. "gmw" runs the
-// real bitsliced GMW engine (batched 64-bit comparison) and reports
-// AND-gates/sec and wire bytes per AND gate; "arith" runs the real
-// arithmetic engine (COT-backed Beaver triples, fixed-point matmul)
-// and reports triples/sec and measured bytes per triple; "extend"
-// runs the real multicore Extend pipeline at workers=1,2,4,8 and
-// reports the COT/s scaling curve with its (constant) bytes per COT.
+// fig15 fig16 table2 table4 table5 table6 gmw arith extend circuit
+// all (default all); -exp accepts a comma-separated list. "gmw" runs
+// the real bitsliced GMW engine (batched 64-bit comparison) and
+// reports AND-gates/sec and wire bytes per AND gate; "arith" runs the
+// real arithmetic engine (COT-backed Beaver triples, fixed-point
+// matmul) and reports triples/sec and measured bytes per triple;
+// "extend" runs the real multicore Extend pipeline at workers=1,2,4,8
+// and reports the COT/s scaling curve with its (constant) bytes per
+// COT; "circuit" evaluates the embedded Bristol circuits (AES-128,
+// SHA-256, 64-bit divide) SIMD-packed through the level-scheduling
+// compiler and cross-checks the exact cost model against the measured
+// counters.
 //
 // With -json the selected experiments are emitted as one JSON
 // document on stdout — {"meta": {...}, "experiments": {name:
@@ -25,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -95,6 +100,21 @@ var all = []experiment{
 	{"extend", func(o experiments.Options) (any, string) {
 		return both(experiments.ExtendBench(o), experiments.RenderExtend)
 	}},
+	{"circuit", func(o experiments.Options) (any, string) {
+		return both(experiments.CircuitBench(o), experiments.RenderCircuit)
+	}},
+}
+
+// validNames lists every accepted -exp name (sorted, "all" included)
+// for error messages.
+func validNames() string {
+	names := make([]string, 0, len(all)+1)
+	for _, e := range all {
+		names = append(names, e.name)
+	}
+	names = append(names, "all")
+	sort.Strings(names)
+	return strings.Join(names, " ")
 }
 
 func main() {
@@ -118,7 +138,7 @@ func main() {
 	}
 	for name := range sel {
 		if !known[name] {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: %s)\n", name, validNames())
 			os.Exit(2)
 		}
 	}
@@ -147,7 +167,7 @@ func main() {
 		}
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		fmt.Fprintf(os.Stderr, "no experiment selected by %q (valid: %s)\n", *exp, validNames())
 		os.Exit(2)
 	}
 	if o.Trace != nil {

@@ -1,0 +1,56 @@
+package circuit
+
+import (
+	"bytes"
+	_ "embed"
+	"fmt"
+	"sync"
+)
+
+// The embedded reference circuits are generated — not downloaded — by
+// the deterministic builders in this package (see gen/main.go), each
+// self-checked against the standard library at build time. Regenerate
+// with `go run ./internal/circuit/gen` after changing a builder.
+var (
+	//go:embed testdata/aes128.btl.gz
+	aes128Data []byte
+	//go:embed testdata/sha256.btl.gz
+	sha256Data []byte
+	//go:embed testdata/div64.btl.gz
+	div64Data []byte
+)
+
+func mustLoad(name string, data []byte) func() *Circuit {
+	return sync.OnceValue(func() *Circuit {
+		c, err := Load(bytes.NewReader(data))
+		if err != nil {
+			panic(fmt.Sprintf("circuit: embedded %s circuit corrupt: %v", name, err))
+		}
+		return c
+	})
+}
+
+var (
+	aes128Once = mustLoad("aes128", aes128Data)
+	sha256Once = mustLoad("sha256", sha256Data)
+	div64Once  = mustLoad("div64", div64Data)
+)
+
+// AES128 returns the embedded AES-128 encryption circuit: inputs
+// (plaintext, key) of 128 bits each in BytesBits layout, output the
+// 128-bit ciphertext. 51200 ANDs at AND depth 40. The returned
+// circuit is shared — treat it as read-only.
+func AES128() *Circuit { return aes128Once() }
+
+// SHA256 returns the embedded SHA-256 compression circuit: inputs
+// (512-bit padded message block, 256-bit chaining value), output the
+// new 256-bit chaining value, byte-oriented big-endian encodings in
+// BytesBits layout. The returned circuit is shared — treat it as
+// read-only.
+func SHA256() *Circuit { return sha256Once() }
+
+// Divide64 returns the embedded 64-bit unsigned divider: inputs
+// (dividend, divisor), outputs (quotient, remainder), LSB-first.
+// Division by zero yields quotient all-ones and remainder = dividend.
+// The returned circuit is shared — treat it as read-only.
+func Divide64() *Circuit { return div64Once() }

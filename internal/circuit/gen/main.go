@@ -1,0 +1,76 @@
+// Command gen regenerates the embedded reference circuits under
+// internal/circuit/testdata. The builders are deterministic and
+// self-checked against the standard library, so the output is
+// reproducible byte-for-byte; run this after changing a builder and
+// commit the refreshed testdata.
+//
+//	go run ./internal/circuit/gen [dir]
+package main
+
+import (
+	"compress/gzip"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ironman/internal/circuit"
+)
+
+func main() {
+	dir := "internal/circuit/testdata"
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	for _, e := range []struct {
+		name  string
+		build func() (*circuit.Circuit, error)
+	}{
+		{"aes128", circuit.BuildAES128},
+		{"sha256", circuit.BuildSHA256},
+		{"div64", circuit.BuildDivide64},
+	} {
+		if err := write(dir, e.name, e.build); err != nil {
+			fmt.Fprintf(os.Stderr, "gen: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func write(dir, name string, build func() (*circuit.Circuit, error)) error {
+	c, err := build()
+	if err != nil {
+		return err
+	}
+	prog, err := circuit.Compile(c)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name+".btl.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	zw, err := gzip.NewWriterLevel(f, gzip.BestCompression)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := c.Marshal(zw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d gates, %d wires, %d ANDs, depth %d, %d slots, %d bytes gzipped\n",
+		path, len(c.Gates), c.Wires, c.NumANDs(), prog.ANDLevels, prog.Slots, st.Size())
+	return nil
+}

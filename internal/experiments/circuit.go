@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ironman/internal/circuit"
+	"ironman/internal/gmw"
+	"ironman/internal/ppml"
+)
+
+// CircuitResult is one embedded-circuit datapoint: K SIMD-packed
+// instances of a Bristol circuit evaluated through the compiled level
+// schedule over the real GMW engine, with the measured exchange and
+// wire counters cross-checked against the exact ppml.CircuitCost
+// model (a mismatch fails the run).
+type CircuitResult struct {
+	Name        string  `json:"name"`
+	Instances   int     `json:"instances"`
+	Gates       int     `json:"gates"`
+	ANDGates    int64   `json:"and_gates"` // circuit ANDs x instances
+	Depth       int     `json:"and_depth"` // exchanges per evaluation, any K
+	Slots       int     `json:"slots"`     // register file size (max live wires)
+	Exchanges   int     `json:"exchanges"` // measured; == and_depth
+	WireBytes   int64   `json:"wire_bytes"`
+	BytesPerAND float64 `json:"bytes_per_and"`
+	Seconds     float64 `json:"seconds"`
+	GatesPerSec float64 `json:"and_gates_per_sec"`
+}
+
+// CircuitBench evaluates the embedded reference circuits end to end:
+// quick runs AES-128 at K=4 and the 64-bit divider at K=2; the full
+// run adds SHA-256 and widens the instance batches. Every output bit
+// of every instance is verified against the plaintext evaluator.
+func CircuitBench(o Options) []CircuitResult {
+	type run struct {
+		name string
+		c    *circuit.Circuit
+		k    int
+	}
+	runs := []run{
+		{"aes128", circuit.AES128(), 16},
+		{"sha256", circuit.SHA256(), 4},
+		{"div64", circuit.Divide64(), 8},
+	}
+	if o.Quick {
+		runs = []run{
+			{"aes128", circuit.AES128(), 4},
+			{"div64", circuit.Divide64(), 2},
+		}
+	}
+	out := make([]CircuitResult, 0, len(runs))
+	for _, r := range runs {
+		out = append(out, circuitRun(r.name, r.c, r.k, o))
+	}
+	return out
+}
+
+// circuitInputs derives deterministic per-instance input bits: one
+// LSB-first vector per declared input value per instance.
+func circuitInputs(c *circuit.Circuit, k int, seed uint64) [][][]bool {
+	insts := make([][][]bool, k)
+	for i := range insts {
+		vals := make([][]bool, len(c.Inputs))
+		for v, width := range c.Inputs {
+			bits := make([]bool, width)
+			for j := range bits {
+				seed = seed*6364136223846793005 + 1442695040888963407
+				bits[j] = seed>>63 == 1
+			}
+			vals[v] = bits
+		}
+		insts[i] = vals
+	}
+	return insts
+}
+
+// circuitPlanes packs each party's share of the input planes: the
+// party owning a value packs its plaintext bits, the peer holds zero
+// planes. Party A owns even-indexed input values, B odd.
+func circuitPlanes(c *circuit.Circuit, insts [][][]bool, partyA bool) []gmw.PackedShare {
+	k := len(insts)
+	planes := make([]gmw.PackedShare, 0, c.InputBits())
+	for v, width := range c.Inputs {
+		mine := (v%2 == 0) == partyA
+		var vals [][]bool
+		if mine {
+			vals = make([][]bool, k)
+			for i := range vals {
+				vals[i] = insts[i][v]
+			}
+		} else {
+			vals = make([][]bool, k) // length carries the instance count
+		}
+		ps, err := circuit.SharePlanes(vals, width, mine)
+		if err != nil {
+			panic(err)
+		}
+		planes = append(planes, ps...)
+	}
+	return planes
+}
+
+func circuitRun(name string, c *circuit.Circuit, k int, o Options) CircuitResult {
+	prog, err := circuit.Compile(c)
+	if err != nil {
+		panic(err)
+	}
+	cost := ppml.CircuitCost(prog, k)
+	insts := circuitInputs(c, k, 0x9E3779B97F4A7C15^uint64(len(c.Gates)))
+
+	a, b, connA := gmwParties(prog.ANDs * k)
+	inputsA := circuitPlanes(c, insts, true)
+	inputsB := circuitPlanes(c, insts, false)
+
+	base := connA.Stats().TotalBytes()
+	preEx := a.Exchanges
+	type evalOut struct {
+		outs [][]bool
+		wire int64
+		ex   int
+		err  error
+	}
+	start := time.Now()
+	ch := make(chan evalOut, 1)
+	go func() {
+		var eo evalOut
+		planes, err := prog.Eval(a, inputsA, &circuit.EvalOpts{Trace: o.Trace, TID: 1})
+		if err != nil {
+			eo.err = err
+			ch <- eo
+			return
+		}
+		// Snapshot before Reveal: the cost model prices the evaluation
+		// only, and the exchange protocol is fully synchronous at this
+		// endpoint by the time Eval returns.
+		eo.wire = connA.Stats().TotalBytes() - base
+		eo.ex = a.Exchanges - preEx
+		eo.outs, eo.err = circuit.Reveal(a, planes)
+		ch <- eo
+	}()
+	planesB, err := prog.Eval(b, inputsB, &circuit.EvalOpts{Trace: o.Trace, TID: 2})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := circuit.Reveal(b, planesB); err != nil {
+		panic(err)
+	}
+	eo := <-ch
+	if eo.err != nil {
+		panic(eo.err)
+	}
+	elapsed := time.Since(start).Seconds()
+
+	// Correctness: every instance against the plaintext evaluator.
+	for i, inst := range insts {
+		want, err := c.EvalPlain(inst)
+		if err != nil {
+			panic(err)
+		}
+		flat := make([]bool, 0, c.OutputBits())
+		for _, w := range want {
+			flat = append(flat, w...)
+		}
+		for j, bit := range eo.outs[i] {
+			if bit != flat[j] {
+				panic(fmt.Sprintf("experiments: %s instance %d output bit %d wrong", name, i, j))
+			}
+		}
+	}
+	// The acceptance cross-checks: measured exchanges equal the AND
+	// depth, measured wire bytes equal the exact model.
+	if eo.ex != cost.Exchanges {
+		panic(fmt.Sprintf("experiments: %s: measured %d exchanges, model says %d", name, eo.ex, cost.Exchanges))
+	}
+	if eo.wire != cost.WireBytes {
+		panic(fmt.Sprintf("experiments: %s: measured %d wire bytes, model says %d", name, eo.wire, cost.WireBytes))
+	}
+
+	return CircuitResult{
+		Name:        name,
+		Instances:   k,
+		Gates:       len(c.Gates),
+		ANDGates:    cost.ANDGates,
+		Depth:       prog.ANDLevels,
+		Slots:       prog.Slots,
+		Exchanges:   eo.ex,
+		WireBytes:   eo.wire,
+		BytesPerAND: cost.BytesPerAND(),
+		Seconds:     elapsed,
+		GatesPerSec: float64(cost.ANDGates) / elapsed,
+	}
+}
+
+// RenderCircuit prints the embedded-circuit datapoints.
+func RenderCircuit(rs []CircuitResult) string {
+	var sb strings.Builder
+	sb.WriteString("Bristol circuit frontend: SIMD-packed evaluation over the GMW engine\n")
+	for _, r := range rs {
+		fmt.Fprintf(&sb, "  %-7s x%-3d %8d ANDs in %4d exchanges (%d gates, %d slots)\n"+
+			"          wire %d B (%.3f B/AND, model exact), %.1f ms, %.2f M AND/s\n",
+			r.Name, r.Instances, r.ANDGates, r.Exchanges, r.Gates, r.Slots,
+			r.WireBytes, r.BytesPerAND, r.Seconds*1e3, r.GatesPerSec/1e6)
+	}
+	return sb.String()
+}

@@ -128,10 +128,21 @@ func NewParty(conn transport.Conn, out *cot.SenderPool, in *cot.ReceiverPool, fi
 	if _, err := rand.Read(seed[:]); err != nil {
 		return nil, err
 	}
+	return NewSeededParty(conn, out, in, first, block.FromBytes(seed[:]))
+}
+
+// NewSeededParty is NewParty with a caller-supplied mask-PRG seed
+// instead of a crypto/rand draw, making the party's wire transcript a
+// deterministic function of (pools, inputs, protocol calls) — the
+// replay property transcript-equality tests and debugging rely on.
+// The mask stream blinds this party's OT payloads, so production
+// callers must never reuse a seed across runs that share correlation
+// pools; use NewParty unless determinism is the point.
+func NewSeededParty(conn transport.Conn, out *cot.SenderPool, in *cot.ReceiverPool, first bool, maskSeed block.Block) (*Party, error) {
 	p := &Party{
 		conn:  conn,
 		hash:  aesprg.NewHash(),
-		prg:   aesprg.NewStream(block.FromBytes(seed[:])),
+		prg:   aesprg.NewStream(maskSeed),
 		Out:   out,
 		In:    in,
 		first: first,
@@ -269,6 +280,38 @@ func (p *Party) checkBudget(n int) error {
 	if p.Out.Remaining() < n || p.In.Remaining() < n {
 		return fmt.Errorf("gmw: AND layer of %d gates: %w (out %d, in %d)",
 			n, cot.ErrExhausted, p.Out.Remaining(), p.In.Remaining())
+	}
+	return nil
+}
+
+// Budget is the correlation/exchange cost of a whole schedule of
+// batched AND layers — what a circuit compiler or layer planner knows
+// up front, before the first gate fires.
+type Budget struct {
+	// ANDGates is the total AND gate count across every layer of the
+	// schedule; each gate consumes one COT from each direction pool.
+	ANDGates int
+	// Exchanges is the number of batched two-flight OT exchanges the
+	// schedule will issue (its AND depth). It does not affect pool
+	// consumption but sizes round budgets and appears in errors.
+	Exchanges int
+}
+
+// Preflight verifies both direction pools can cover an entire schedule
+// before any of it runs. The per-layer checkBudget guard inside
+// And/AndPacked only catches exhaustion at the layer that trips it —
+// by then earlier layers have consumed their correlations and the
+// computation dies mid-circuit. Preflighting the whole budget makes an
+// under-provisioned pool fail loudly before the first flight, on both
+// sides (pools advance in lockstep), with nothing consumed and the
+// peers still in sync.
+func (p *Party) Preflight(b Budget) error {
+	if b.ANDGates < 0 {
+		return fmt.Errorf("gmw: preflight: negative AND budget %d", b.ANDGates)
+	}
+	if out, in := p.Out.Remaining(), p.In.Remaining(); out < b.ANDGates || in < b.ANDGates {
+		return fmt.Errorf("gmw: preflight: schedule of %d AND gates in %d exchanges: %w (out %d, in %d)",
+			b.ANDGates, b.Exchanges, cot.ErrExhausted, out, in)
 	}
 	return nil
 }
@@ -533,9 +576,11 @@ func (p *Party) RevealPacked(a PackedShare) ([]bool, error) {
 	return open.Bools(), nil
 }
 
-// RevealVec opens a bit-plane vector in a single exchange, returning
-// the plaintext values.
-func (p *Party) RevealVec(planes []PackedShare) ([]uint64, error) {
+// RevealPlanes opens a batch of packed shares in a single exchange,
+// returning the plaintext still in the packed plane layout. The
+// planes may have differing lengths; both parties must pass matching
+// shapes in matching order.
+func (p *Party) RevealPlanes(planes []PackedShare) ([]PackedShare, error) {
 	var all PackedShare
 	for _, pl := range planes {
 		all.appendBits(pl)
@@ -549,6 +594,16 @@ func (p *Party) RevealVec(planes []PackedShare) ([]uint64, error) {
 	for i, pl := range planes {
 		opened[i] = open.sliceBits(off, pl.n)
 		off += pl.n
+	}
+	return opened, nil
+}
+
+// RevealVec opens a bit-plane vector in a single exchange, returning
+// the plaintext values.
+func (p *Party) RevealVec(planes []PackedShare) ([]uint64, error) {
+	opened, err := p.RevealPlanes(planes)
+	if err != nil {
+		return nil, err
 	}
 	return UnpackVec(opened), nil
 }

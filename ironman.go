@@ -18,6 +18,7 @@ package ironman
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"reflect"
 	"sync/atomic"
@@ -26,6 +27,7 @@ import (
 	"ironman/internal/aesprg"
 	"ironman/internal/arith"
 	"ironman/internal/block"
+	"ironman/internal/circuit"
 	"ironman/internal/cot"
 	"ironman/internal/ferret"
 	"ironman/internal/gmw"
@@ -573,6 +575,79 @@ func (r *Receiver) GMWPool(n int) (*GMWReceiverPool, error) {
 	}
 	return cot.NewReceiverPool(bits, blocks)
 }
+
+// Circuit frontend re-exports: the Bristol-fashion frontend of the GMW
+// engine (internal/circuit; see the "Circuit frontend" section of
+// DESIGN.md). Load or build a circuit, compile it once into a level
+// schedule, then evaluate any number of SIMD-packed instance batches:
+// each AND level of the schedule is ONE batched OT exchange regardless
+// of the instance count.
+type (
+	// Circuit is a parsed Bristol-fashion Boolean circuit.
+	Circuit = circuit.Circuit
+	// CircuitProgram is a compiled level schedule over a recycled
+	// register file; safe for concurrent Eval calls on different
+	// parties.
+	CircuitProgram = circuit.Program
+)
+
+// LoadCircuit parses a Bristol circuit ("Bristol Fashion" or legacy
+// "Bristol Format" headers; gzip is detected transparently).
+func LoadCircuit(r io.Reader) (*Circuit, error) { return circuit.Load(r) }
+
+// LoadCircuitFile is LoadCircuit over a file path.
+func LoadCircuitFile(path string) (*Circuit, error) { return circuit.LoadFile(path) }
+
+// CompileCircuit levels the gate DAG into a batched exchange schedule
+// and allocates wires into recycled registers (memory scales with the
+// maximum live-wire frontier, not the wire count).
+func CompileCircuit(c *Circuit) (*CircuitProgram, error) { return circuit.Compile(c) }
+
+// EvalCircuit securely evaluates a compiled circuit: inputs is one
+// K-bit plane per circuit input wire (K = SIMD instance count; build
+// the planes with ShareCircuitInputs), the result one K-bit plane per
+// output wire. The peer must run EvalCircuit concurrently on the same
+// program. The whole OT budget is preflighted against the party's
+// pools before the first flight.
+func EvalCircuit(p *GMWParty, prog *CircuitProgram, inputs []GMWPacked) ([]GMWPacked, error) {
+	return prog.Eval(p, inputs, nil)
+}
+
+// ShareCircuitInputs XOR-shares K instances of one circuit input
+// value: the owner passes its per-instance plaintext bits, the peer
+// passes mine=false with the instance count (len(instances)) and nil
+// bit vectors. For threshold inputs neither party knows, both pass
+// their local share with mine=true.
+func ShareCircuitInputs(instances [][]bool, bits int, mine bool) ([]GMWPacked, error) {
+	return circuit.SharePlanes(instances, bits, mine)
+}
+
+// RevealCircuitOutputs opens output planes to both parties (one
+// exchange) and unpacks them into K per-instance bit vectors.
+func RevealCircuitOutputs(p *GMWParty, planes []GMWPacked) ([][]bool, error) {
+	return circuit.Reveal(p, planes)
+}
+
+// CircuitAES128 returns the embedded AES-128 encryption circuit
+// (plaintext, key -> ciphertext, 51200 ANDs, depth 40); inputs and
+// outputs use the BytesBits layout. Treat as read-only.
+func CircuitAES128() *Circuit { return circuit.AES128() }
+
+// CircuitSHA256 returns the embedded SHA-256 compression circuit
+// (padded block, chaining value -> new chaining value). Treat as
+// read-only.
+func CircuitSHA256() *Circuit { return circuit.SHA256() }
+
+// CircuitDivide64 returns the embedded 64-bit unsigned divider
+// (dividend, divisor -> quotient, remainder). Treat as read-only.
+func CircuitDivide64() *Circuit { return circuit.Divide64() }
+
+// BytesBits explodes a byte string into the LSB-first-per-byte bit
+// layout the embedded byte-oriented circuits use; BitsBytes inverts.
+func BytesBits(p []byte) []bool { return circuit.BytesBits(p) }
+
+// BitsBytes recomposes BytesBits output into a byte string.
+func BitsBytes(bits []bool) []byte { return circuit.BitsBytes(bits) }
 
 // Arithmetic engine re-exports: additive secret sharing over Z_2^64
 // with COT-backed Beaver triples and A2B/B2A bridges into the GMW

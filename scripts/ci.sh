@@ -20,6 +20,13 @@
 # change (numbers are machine-dependent — compare trends, not runs
 # from different hosts). TRACE_JSON=path additionally archives the
 # extend phase-span trace (Chrome trace-event JSON) from the same run.
+#
+# CIRCUIT_JSON=path likewise archives the circuit-frontend metrics
+# (embedded Bristol circuits through the level-scheduled SIMD
+# evaluator, exchange/wire counters asserted against ppml.CircuitCost);
+# the committed point is BENCH_circuit.json, refreshed with
+#
+#   CIRCUIT_JSON=BENCH_circuit.json ./scripts/ci.sh
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -77,6 +84,11 @@ kill "$otd_pid"
 wait "$otd_pid" 2>/dev/null || true
 echo "admin endpoint OK"
 
+echo "== embedded circuit end-to-end (examples/private-aes over real TCP) =="
+# Threshold AES through the Bristol circuit frontend: XOR-split key,
+# four SIMD-packed blocks, ciphertexts verified against crypto/aes.
+"$bindir/private-aes"
+
 echo "== go test -race (includes the gmw + arith engines and the TCP pipeline) =="
 go test -race ./...
 
@@ -90,6 +102,17 @@ if [ -n "${BENCH_JSON:-}" ]; then
     echo "archived to $BENCH_JSON"
 else
     go run ./cmd/ironman-bench -quick -exp gmw,arith,extend -json -trace "$trace_json"
+fi
+
+echo "== circuit frontend metrics (ironman-bench -exp circuit) =="
+# The quick set evaluates embedded AES-128 and div64 SIMD-packed over
+# the engine; the run itself panics if the measured exchange/wire
+# counters drift from the exact ppml.CircuitCost model.
+if [ -n "${CIRCUIT_JSON:-}" ]; then
+    go run ./cmd/ironman-bench -quick -exp circuit -json > "$CIRCUIT_JSON"
+    echo "archived to $CIRCUIT_JSON"
+else
+    go run ./cmd/ironman-bench -quick -exp circuit -json
 fi
 
 echo "== trace artifact sanity (chrome trace-event JSON) =="
