@@ -2,21 +2,23 @@
 //
 // Usage:
 //
-//	ironman-bench [-quick] [-exp name[,name...]] [-json]
+//	ironman-bench [-quick] [-exp name[,name...]] [-backend name[,name...]] [-json]
 //
 // Experiment names: fig1a fig1b fig1c fig7 fig8 fig12 fig13 fig14
 // fig15 fig16 table2 table4 table5 table6 gmw arith extend circuit
-// all (default all); -exp accepts a comma-separated list. "gmw" runs
-// the real bitsliced GMW engine (batched 64-bit comparison) and
-// reports AND-gates/sec and wire bytes per AND gate; "arith" runs the
-// real arithmetic engine (COT-backed Beaver triples, fixed-point
-// matmul) and reports triples/sec and measured bytes per triple;
-// "extend" runs the real multicore Extend pipeline at workers=1,2,4,8
-// and reports the COT/s scaling curve with its (constant) bytes per
-// COT; "circuit" evaluates the embedded Bristol circuits (AES-128,
-// SHA-256, 64-bit divide) SIMD-packed through the level-scheduling
-// compiler and cross-checks the exact cost model against the measured
-// counters.
+// all (default all); -exp accepts a comma-separated list, and
+// `-exp list` prints every experiment with its one-line description
+// and exits. "gmw" runs the real bitsliced GMW engine (batched 64-bit
+// comparison) and reports AND-gates/sec and wire bytes per AND gate;
+// "arith" runs the real arithmetic engine (COT-backed Beaver triples,
+// fixed-point matmul) and reports triples/sec and measured bytes per
+// triple; "extend" runs the real multicore Extend pipeline at
+// workers=1,2,4,8 — once per backend named by -backend (default: the
+// default extension backend) — and reports comparable COT/s scaling
+// curves with each backend's (constant) bytes per COT; "circuit"
+// evaluates the embedded Bristol circuits (AES-128, SHA-256, 64-bit
+// divide) SIMD-packed through the level-scheduling compiler and
+// cross-checks the exact cost model against the measured counters.
 //
 // With -json the selected experiments are emitted as one JSON
 // document on stdout — {"meta": {...}, "experiments": {name:
@@ -34,12 +36,14 @@ import (
 	"time"
 
 	"ironman/internal/experiments"
+	"ironman/internal/extension"
 	"ironman/internal/obs"
 )
 
 // experiment pairs a machine-readable result with its rendered view.
 type experiment struct {
 	name string
+	desc string
 	run  func(o experiments.Options) (data any, text string)
 }
 
@@ -48,87 +52,105 @@ func both[T any](rows T, render func(T) string) (any, string) {
 }
 
 var all = []experiment{
-	{"table2", func(experiments.Options) (any, string) {
+	{"table2", "protocol wire complexity per primitive", func(experiments.Options) (any, string) {
 		return experiments.Table2Data(), experiments.RenderTable2()
 	}},
-	{"table4", func(experiments.Options) (any, string) {
+	{"table4", "Ferret LPN parameter sets", func(experiments.Options) (any, string) {
 		return experiments.Table4Data(), experiments.RenderTable4()
 	}},
-	{"table6", func(experiments.Options) (any, string) {
+	{"table6", "NMP hardware area/power budget", func(experiments.Options) (any, string) {
 		return experiments.Table6Data(), experiments.RenderTable6()
 	}},
-	{"fig1a", func(experiments.Options) (any, string) {
+	{"fig1a", "motivational OT share of 2PC runtime", func(experiments.Options) (any, string) {
 		return both(experiments.Figure1a(), experiments.RenderFig1a)
 	}},
-	{"fig1b", func(experiments.Options) (any, string) {
+	{"fig1b", "motivational memory-boundedness of OTE", func(experiments.Options) (any, string) {
 		return both(experiments.Figure1b(), experiments.RenderFig1b)
 	}},
-	{"fig1c", func(experiments.Options) (any, string) {
+	{"fig1c", "motivational roofline placement", func(experiments.Options) (any, string) {
 		return both(experiments.Figure1c(), experiments.RenderFig1c)
 	}},
-	{"fig7", func(o experiments.Options) (any, string) {
+	{"fig7", "LPN access locality histogram", func(o experiments.Options) (any, string) {
 		return both(experiments.Figure7(o), experiments.RenderFig7)
 	}},
-	{"fig8", func(experiments.Options) (any, string) {
+	{"fig8", "SPCOT tree-expansion op counts", func(experiments.Options) (any, string) {
 		return both(experiments.Figure8(), experiments.RenderFig8)
 	}},
-	{"fig12", func(o experiments.Options) (any, string) {
+	{"fig12", "OTE latency: CPU vs GPU vs NMP sweep", func(o experiments.Options) (any, string) {
 		return both(experiments.Figure12(o), experiments.RenderFig12)
 	}},
-	{"fig13", func(o experiments.Options) (any, string) {
+	{"fig13", "SPCOT ablation and phase latency by ranks", func(o experiments.Options) (any, string) {
 		a, b := experiments.Figure13a(o), experiments.Figure13b(o)
 		return map[string]any{"a": a, "b": b}, experiments.RenderFig13(a, b)
 	}},
-	{"fig14", func(o experiments.Options) (any, string) {
+	{"fig14", "memory-side cache capacity sweep", func(o experiments.Options) (any, string) {
 		return both(experiments.Figure14(o), experiments.RenderFig14)
 	}},
-	{"fig15", func(o experiments.Options) (any, string) {
+	{"fig15", "end-to-end 2PC application speedups", func(o experiments.Options) (any, string) {
 		return both(experiments.Figure15(o), experiments.RenderFig15)
 	}},
-	{"fig16", func(experiments.Options) (any, string) {
+	{"fig16", "area/power breakdown", func(experiments.Options) (any, string) {
 		return both(experiments.Figure16(), experiments.RenderFig16)
 	}},
-	{"table5", func(o experiments.Options) (any, string) {
+	{"table5", "2PC workload latency comparison", func(o experiments.Options) (any, string) {
 		return both(experiments.Table5(o), experiments.RenderTable5)
 	}},
-	{"gmw", func(o experiments.Options) (any, string) {
+	{"gmw", "real bitsliced GMW engine throughput", func(o experiments.Options) (any, string) {
 		return both(experiments.GMWBench(o), experiments.RenderGMW)
 	}},
-	{"arith", func(o experiments.Options) (any, string) {
+	{"arith", "real arithmetic engine (Beaver triples, matmul)", func(o experiments.Options) (any, string) {
 		return both(experiments.ArithBench(o), experiments.RenderArith)
 	}},
-	{"extend", func(o experiments.Options) (any, string) {
+	{"extend", "real Extend pipeline worker scaling per backend", func(o experiments.Options) (any, string) {
 		return both(experiments.ExtendBench(o), experiments.RenderExtend)
 	}},
-	{"circuit", func(o experiments.Options) (any, string) {
+	{"circuit", "Bristol circuit evaluation vs cost model", func(o experiments.Options) (any, string) {
 		return both(experiments.CircuitBench(o), experiments.RenderCircuit)
 	}},
 }
 
-// validNames lists every accepted -exp name (sorted, "all" included)
-// for error messages.
+// validNames lists every accepted -exp name (sorted, "all" and "list"
+// included) for error messages.
 func validNames() string {
-	names := make([]string, 0, len(all)+1)
+	names := make([]string, 0, len(all)+2)
 	for _, e := range all {
 		names = append(names, e.name)
 	}
-	names = append(names, "all")
+	names = append(names, "all", "list")
 	sort.Strings(names)
 	return strings.Join(names, " ")
 }
 
+// splitList parses a comma-separated flag value.
+func splitList(v string) []string {
+	var out []string
+	for _, name := range strings.Split(v, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "reduced sample sizes")
-	exp := flag.String("exp", "all", "experiment(s) to run, comma-separated")
+	exp := flag.String("exp", "all", "experiment(s) to run, comma-separated; \"list\" prints them")
+	backend := flag.String("backend", "", "extension backend(s) for the extend bench, comma-separated (default: the default backend)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of rendered tables")
 	traceOut := flag.String("trace", "", "write phase spans from protocol benches as Chrome trace-event JSON (open in chrome://tracing or Perfetto)")
 	flag.Parse()
 
-	sel := make(map[string]bool)
-	for _, name := range strings.Split(*exp, ",") {
-		if name = strings.TrimSpace(name); name != "" {
-			sel[name] = true
+	if *exp == "list" {
+		// Machine-readable: one "name\tdescription" line per experiment.
+		for _, e := range all {
+			fmt.Printf("%s\t%s\n", e.name, e.desc)
 		}
+		return
+	}
+
+	sel := make(map[string]bool)
+	for _, name := range splitList(*exp) {
+		sel[name] = true
 	}
 	// Every requested name must exist: a typo in one list entry fails
 	// the run instead of silently dropping that experiment's metrics.
@@ -142,7 +164,16 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	o := experiments.Options{Quick: *quick}
+	// Backend names are validated up front the same way, against the
+	// extension registry.
+	backends := splitList(*backend)
+	for _, name := range backends {
+		if _, err := extension.ByName(name); err != nil {
+			fmt.Fprintf(os.Stderr, "unknown backend %q (valid: %s)\n", name, strings.Join(extension.Names(), " "))
+			os.Exit(2)
+		}
+	}
+	o := experiments.Options{Quick: *quick, Backends: backends}
 	if *traceOut != "" {
 		o.Trace = obs.NewTracer()
 	}
@@ -181,6 +212,7 @@ func main() {
 		doc := map[string]any{
 			"meta": map[string]any{
 				"quick":     *quick,
+				"backends":  o.Backends,
 				"generated": time.Now().UTC().Format(time.RFC3339),
 			},
 			"experiments": results,

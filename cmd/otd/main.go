@@ -24,14 +24,17 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
+	"ironman/internal/extension"
 	"ironman/internal/otserv"
 )
 
 func main() {
 	listen := flag.String("listen", ":7117", "address to serve on")
 	params := flag.String("params", "2^20", "default Table 4 parameter set for sessions")
+	backends := flag.String("backends", "", "extension backends to serve, comma-separated (default: all registered)")
 	prefetch := flag.Int("prefetch", 2, "default per-session prefetch depth (Extend batches)")
 	maxDepth := flag.Int("max-depth", 8, "cap on client-requested prefetch depth")
 	maxSessions := flag.Int("max-sessions", 64, "concurrent session limit")
@@ -49,19 +52,36 @@ func main() {
 		return
 	}
 
+	// Validate the backend allowlist at startup, not at first HELLO.
+	var backendList []string
+	for _, name := range strings.Split(*backends, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		if _, err := extension.ByName(name); err != nil {
+			log.Fatalf("otd: -backends: unknown backend %q (valid: %s)", name, strings.Join(extension.Names(), " "))
+		}
+		backendList = append(backendList, name)
+	}
+
 	srv := otserv.NewServer(otserv.Config{
 		DefaultParams: *params,
 		Depth:         *prefetch,
 		MaxDepth:      *maxDepth,
 		MaxSessions:   *maxSessions,
 		Workers:       *workers,
+		Backends:      backendList,
 	})
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("otd: dispensing on %s (params %s, prefetch %d, max %d sessions)",
-		ln.Addr(), *params, *prefetch, *maxSessions)
+	served := backendList
+	if len(served) == 0 {
+		served = extension.Names()
+	}
+	log.Printf("otd: dispensing on %s (params %s, backends %s, prefetch %d, max %d sessions)",
+		ln.Addr(), *params, strings.Join(served, ","), *prefetch, *maxSessions)
 
 	if *admin != "" {
 		aln, err := net.Listen("tcp", *admin)

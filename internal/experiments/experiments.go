@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"ironman/internal/extension"
 	"ironman/internal/ferret"
 	"ironman/internal/obs"
 
@@ -21,10 +22,21 @@ import (
 
 // Quick toggles reduced sample sizes for CI-speed runs. Trace, when
 // non-nil, collects phase spans from the protocol-backed benches
-// (currently ExtendBench) for chrome://tracing / Perfetto.
+// (currently ExtendBench) for chrome://tracing / Perfetto. Backends
+// selects the extension backends ExtendBench compares (nil runs the
+// default backend only).
 type Options struct {
-	Quick bool
-	Trace *obs.Tracer
+	Quick    bool
+	Trace    *obs.Tracer
+	Backends []string
+}
+
+// backends resolves the backend selection for the protocol benches.
+func (o Options) backends() []string {
+	if len(o.Backends) == 0 {
+		return []string{extension.Default}
+	}
+	return o.Backends
 }
 
 func (o Options) sampleRows() int {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ironman/internal/block"
+	"ironman/internal/extension"
 	"ironman/internal/ferret"
 	"ironman/internal/lpn"
 	"ironman/internal/transport"
@@ -22,16 +23,26 @@ type ExtendPoint struct {
 	Speedup     float64 `json:"speedup"` // vs workers=1
 }
 
-// ExtendResult is the worker-scaling curve of the multicore Extend
-// pipeline: COT/s and wire bytes per COT at workers=1,2,4,8. The wire
-// transcript is asserted byte-count-identical across worker counts
-// (the parallel phases are local-only), so BytesPerCOT is constant and
-// Speedup isolates the compute scaling.
+// ExtendCurve is one extension backend's worker-scaling curve, paired
+// with the backend's own Cost model so archived runs record the
+// model-vs-measured agreement.
+type ExtendCurve struct {
+	Backend string         `json:"backend"`
+	Batch   int            `json:"batch"` // COTs per Extend
+	Cost    extension.Cost `json:"cost"`
+	Points  []ExtendPoint  `json:"points"`
+}
+
+// ExtendResult is the worker-scaling comparison of the registered
+// extension backends: COT/s and wire bytes per COT at workers=1,2,4,8,
+// per backend on the same parameter set. Two invariants are enforced
+// (by panic, so a broken backend cannot post a number): the wire
+// transcript is byte-count-identical across worker counts, and it
+// equals the backend's Cost().ExtendBytes model exactly.
 type ExtendResult struct {
 	ParamSet   string        `json:"param_set"`
 	Iterations int           `json:"iterations"`
-	Usable     int           `json:"usable"`
-	Points     []ExtendPoint `json:"points"`
+	Curves     []ExtendCurve `json:"curves"`
 }
 
 // extendBenchSeed makes every worker count replay the identical
@@ -40,7 +51,9 @@ var extendBenchSeed = block.New(0x657874656e64, 0x62656e6368)
 
 // ExtendBench measures Extend throughput across worker counts on the
 // paper's 2^22 parameter set (Quick: 2^20, one iteration) — the
-// software analog of the paper's rank-parallelism ablation.
+// software analog of the paper's rank-parallelism ablation, run once
+// per requested extension backend (Options.Backends) so the curves are
+// directly comparable.
 func ExtendBench(o Options) ExtendResult {
 	name, iters := "2^22", 2
 	if o.Quick {
@@ -50,72 +63,93 @@ func ExtendBench(o Options) ExtendResult {
 	if err != nil {
 		panic(err)
 	}
-	// Share one derived LPN code across all worker counts: the index
+	// Share one derived LPN code across all ferret runs: the index
 	// matrix is identical (public seed) and dominates setup time.
+	// Backends without an LPN stage ignore it.
 	code := lpn.New(ferret.DefaultCodeSeed, params.N, params.K, params.D)
 	delta := block.New(0xdead, 0xbeef)
 
-	res := ExtendResult{ParamSet: name, Iterations: iters, Usable: params.Usable()}
-	for _, workers := range []int{1, 2, 4, 8} {
-		connS, connR := transport.Pipe()
-		// One shared tracer across worker counts: runs are sequential,
-		// so the lanes interleave in time, not in tid space. The wire
-		// invariance check below doubles as proof that tracing never
-		// perturbs the transcript.
-		opts := ferret.Options{Workers: workers, Seed: extendBenchSeed, Code: code, Trace: o.Trace}
-		s, r, err := ferret.DealPools(connS, connR, delta, params, opts)
+	res := ExtendResult{ParamSet: name, Iterations: iters}
+	for _, backendName := range o.backends() {
+		backend, err := extension.ByName(backendName)
 		if err != nil {
 			panic(err)
 		}
-		start := time.Now()
-		for it := 0; it < iters; it++ {
-			z, out, err := ferret.ExtendLockstep(s, r)
+		curve := ExtendCurve{Backend: backend.Name(), Batch: backend.Batch(params)}
+		for _, workers := range []int{1, 2, 4, 8} {
+			connS, connR := transport.Pipe()
+			// One shared tracer across worker counts: runs are
+			// sequential, so the lanes interleave in time, not in tid
+			// space. The wire invariance check below doubles as proof
+			// that tracing never perturbs the transcript.
+			opts := extension.Options{Workers: workers, Seed: extendBenchSeed, Code: code, Trace: o.Trace}
+			if curve.Cost == (extension.Cost{}) {
+				curve.Cost = backend.Cost(params, opts)
+			}
+			s, r, err := backend.DealPair(connS, connR, delta, params, opts)
 			if err != nil {
 				panic(err)
 			}
-			// Spot-check the correlation on the first/last outputs so a
-			// broken parallel path cannot post a fast number.
-			if err := ferret.Check(delta, z[:1], &ferret.ReceiverOutput{Bits: out.Bits[:1], Blocks: out.Blocks[:1]}); err != nil {
-				panic(err)
+			start := time.Now()
+			for it := 0; it < iters; it++ {
+				z, bits, y, err := extension.ExtendLockstep(s, r)
+				if err != nil {
+					panic(err)
+				}
+				// Spot-check the correlation on the first/last outputs
+				// so a broken parallel path cannot post a fast number.
+				for _, i := range []int{0, len(z) - 1} {
+					want := y[i]
+					if bits[i] {
+						want = want.Xor(delta)
+					}
+					if z[i] != want {
+						panic(fmt.Sprintf("experiments: %s output %d violates the COT correlation", backend.Name(), i))
+					}
+				}
 			}
-			last := len(z) - 1
-			if err := ferret.Check(delta, z[last:], &ferret.ReceiverOutput{Bits: out.Bits[last:], Blocks: out.Blocks[last:]}); err != nil {
-				panic(err)
+			elapsed := time.Since(start).Seconds()
+			wire := connS.Stats().TotalBytes()
+			cots := float64(curve.Batch) * float64(iters)
+			curve.Points = append(curve.Points, ExtendPoint{
+				Workers:     workers,
+				Seconds:     elapsed,
+				COTsPerSec:  cots / elapsed,
+				WireBytes:   wire,
+				BytesPerCOT: float64(wire) / cots,
+			})
+			_ = connS.Close()
+			_ = connR.Close()
+		}
+		base := curve.Points[0]
+		for i := range curve.Points {
+			curve.Points[i].Speedup = base.Seconds / curve.Points[i].Seconds
+			if curve.Points[i].WireBytes != base.WireBytes {
+				panic(fmt.Sprintf("experiments: %s workers=%d moved %d wire bytes, workers=1 moved %d — parallel Extend must not touch the transcript",
+					curve.Backend, curve.Points[i].Workers, curve.Points[i].WireBytes, base.WireBytes))
+			}
+			if modeled := int64(iters) * curve.Cost.ExtendBytes; curve.Points[i].WireBytes != modeled {
+				panic(fmt.Sprintf("experiments: %s workers=%d moved %d wire bytes over %d iterations, Cost models %d — the backend's wire model must be exact",
+					curve.Backend, curve.Points[i].Workers, curve.Points[i].WireBytes, iters, modeled))
 			}
 		}
-		elapsed := time.Since(start).Seconds()
-		wire := connS.Stats().TotalBytes()
-		cots := float64(params.Usable()) * float64(iters)
-		res.Points = append(res.Points, ExtendPoint{
-			Workers:     workers,
-			Seconds:     elapsed,
-			COTsPerSec:  cots / elapsed,
-			WireBytes:   wire,
-			BytesPerCOT: float64(wire) / cots,
-		})
-		_ = connS.Close()
-		_ = connR.Close()
-	}
-	base := res.Points[0]
-	for i := range res.Points {
-		res.Points[i].Speedup = base.Seconds / res.Points[i].Seconds
-		if res.Points[i].WireBytes != base.WireBytes {
-			panic(fmt.Sprintf("experiments: workers=%d moved %d wire bytes, workers=1 moved %d — parallel Extend must not touch the transcript",
-				res.Points[i].Workers, res.Points[i].WireBytes, base.WireBytes))
-		}
+		res.Curves = append(res.Curves, curve)
 	}
 	return res
 }
 
-// RenderExtend prints the worker-scaling curve.
+// RenderExtend prints the per-backend worker-scaling curves.
 func RenderExtend(r ExtendResult) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Extend worker scaling: %s set, %d iteration(s), %d usable COTs each\n",
-		r.ParamSet, r.Iterations, r.Usable)
-	fmt.Fprintf(&b, "%-8s %10s %12s %12s %8s\n", "workers", "time(ms)", "COT/s", "B/COT", "speedup")
-	for _, p := range r.Points {
-		fmt.Fprintf(&b, "%-8d %10.1f %12.0f %12.4f %7.2fx\n",
-			p.Workers, p.Seconds*1e3, p.COTsPerSec, p.BytesPerCOT, p.Speedup)
+	fmt.Fprintf(&b, "Extend worker scaling: %s set, %d iteration(s)\n", r.ParamSet, r.Iterations)
+	for _, c := range r.Curves {
+		fmt.Fprintf(&b, "backend %s: %d COTs/Extend, model %.4f B/COT, %d round(s), %d base OTs\n",
+			c.Backend, c.Batch, c.Cost.BytesPerCOT, c.Cost.Rounds, c.Cost.BaseOTs)
+		fmt.Fprintf(&b, "%-8s %10s %12s %12s %8s\n", "workers", "time(ms)", "COT/s", "B/COT", "speedup")
+		for _, p := range c.Points {
+			fmt.Fprintf(&b, "%-8d %10.1f %12.0f %12.4f %7.2fx\n",
+				p.Workers, p.Seconds*1e3, p.COTsPerSec, p.BytesPerCOT, p.Speedup)
+		}
 	}
 	return b.String()
 }

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"ironman/internal/block"
+	"ironman/internal/pool"
 	"ironman/internal/transport"
 )
 
@@ -58,10 +60,16 @@ func (c *Client) roundTrip(req []byte) ([]byte, error) {
 	if len(resp) < 1 {
 		return nil, errors.New("otserv: empty response")
 	}
-	if resp[0] != statusOK {
+	switch resp[0] {
+	case statusOK:
+		return resp[1:], nil
+	case statusErrVersion:
+		return nil, fmt.Errorf("%w (server: %s)", ErrVersionMismatch, resp[1:])
+	case statusErrBackend:
+		return nil, fmt.Errorf("%w (server: %s)", ErrBackendUnsupported, resp[1:])
+	default:
 		return nil, fmt.Errorf("otserv: server: %s", resp[1:])
 	}
-	return resp[1:], nil
 }
 
 func (c *Client) roundTripJSON(op byte, req, resp any) error {
@@ -81,6 +89,11 @@ type SessionConfig struct {
 	// Params names a parameter set known to the server ("" = server
 	// default).
 	Params string
+	// Backend names the extension backend the session should run on
+	// ("" = server default). Unsupported names fail NewSession with an
+	// ErrBackendUnsupported-wrapping error before the server creates
+	// any session state.
+	Backend string
 	// BinaryAES selects the classic 2-ary AES GGM construction for
 	// this session instead of the Ironman 4-ary ChaCha8 one.
 	BinaryAES bool
@@ -99,6 +112,7 @@ type Session struct {
 	c        *Client
 	id       uint64
 	params   string
+	backend  string
 	batch    int
 	role     Role
 	tokenS   string
@@ -112,22 +126,34 @@ type Session struct {
 // receives the two attach tokens; hand one token to the consumer of
 // each half (a party holding both tokens can reconstruct Δ).
 func (c *Client) NewSession(cfg SessionConfig) (*Session, error) {
-	var resp helloResp
 	req := helloReq{
 		V:         ProtoVersion,
 		Params:    cfg.Params,
+		Backend:   cfg.Backend,
 		BinaryAES: cfg.BinaryAES,
 		Depth:     cfg.Depth,
 		LowWater:  cfg.LowWater,
 		Workers:   cfg.Workers,
 	}
-	if err := c.roundTripJSON(opHello, req, &resp); err != nil {
+	// HELLO carries the v2 framing (version byte before the JSON), so
+	// it cannot go through roundTripJSON.
+	body, err := helloBody(req)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.roundTrip(append([]byte{opHello}, body...))
+	if err != nil {
+		return nil, err
+	}
+	var resp helloResp
+	if err := json.Unmarshal(out, &resp); err != nil {
 		return nil, err
 	}
 	return &Session{
 		c:        c,
 		id:       resp.Session,
 		params:   resp.Params,
+		backend:  resp.Backend,
 		batch:    resp.Batch,
 		role:     RoleBoth,
 		tokenS:   resp.SenderToken,
@@ -144,7 +170,7 @@ func (c *Client) Attach(id uint64, token string) (*Session, error) {
 	if err := c.roundTripJSON(opAttach, attachReq{Session: id, Token: token}, &resp); err != nil {
 		return nil, err
 	}
-	return &Session{c: c, id: id, params: resp.Params, batch: resp.Batch, role: resp.Role}, nil
+	return &Session{c: c, id: id, params: resp.Params, backend: resp.Backend, batch: resp.Batch, role: resp.Role}, nil
 }
 
 // ServerStats fetches the server-wide counters.
@@ -165,6 +191,9 @@ func (s *Session) ID() uint64 { return s.id }
 
 // Params names the session's parameter set.
 func (s *Session) Params() string { return s.params }
+
+// Backend names the session's negotiated extension backend.
+func (s *Session) Backend() string { return s.backend }
 
 // Batch is the session's per-Extend correlation yield.
 func (s *Session) Batch() int { return s.batch }
@@ -258,9 +287,30 @@ func (s *Session) ReceiverCOTs(n int) ([]bool, []block.Block, error) {
 	return bits, blocks, nil
 }
 
-// RemoteSender adapts a session to the draw API of ironman.Sender, so
-// code written against `COTs(n) ([]Block, error)` can consume from a
-// dispenser unchanged.
+// poolStats converts a STATS half back to the pool.Stats shape, so
+// remote drawers report through the same type as local pools.
+func (h HalfStats) poolStats() pool.Stats {
+	return pool.Stats{
+		Generated:    h.Generated,
+		Dispensed:    h.Dispensed,
+		Refills:      h.Refills,
+		Draws:        h.Draws,
+		BlockedDraws: h.BlockedDraws,
+		BlockedTime:  time.Duration(h.BlockedNS),
+		Buffered:     h.Buffered,
+	}
+}
+
+// The remote drawers satisfy the pool source contracts, so a dispenser
+// session slots in anywhere a local pool or dealt half does.
+var (
+	_ pool.SenderSource   = (*RemoteSender)(nil)
+	_ pool.ReceiverSource = (*RemoteReceiver)(nil)
+)
+
+// RemoteSender adapts a session to the draw API of ironman.Sender and
+// the pool.SenderSource contract, so code written against either can
+// consume from a dispenser unchanged.
 type RemoteSender struct{ s *Session }
 
 // Sender returns the sender-half draw adapter.
@@ -269,7 +319,22 @@ func (s *Session) Sender() *RemoteSender { return &RemoteSender{s} }
 // COTs draws n sender-half correlations.
 func (r *RemoteSender) COTs(n int) ([]block.Block, error) { return r.s.SenderCOTs(n) }
 
-// RemoteReceiver adapts a session to the draw API of ironman.Receiver.
+// Stats reports the session's server-side sender-half pool counters
+// (zero value if the STATS round trip fails — the drawer contract has
+// no error channel for stats).
+func (r *RemoteSender) Stats() pool.Stats {
+	st, err := r.s.Stats()
+	if err != nil {
+		return pool.Stats{}
+	}
+	return st.Sender.poolStats()
+}
+
+// Close drops the underlying session handle's reference.
+func (r *RemoteSender) Close() error { return r.s.Close() }
+
+// RemoteReceiver adapts a session to the draw API of ironman.Receiver
+// and the pool.ReceiverSource contract.
 type RemoteReceiver struct{ s *Session }
 
 // Receiver returns the receiver-half draw adapter.
@@ -277,3 +342,16 @@ func (s *Session) Receiver() *RemoteReceiver { return &RemoteReceiver{s} }
 
 // COTs draws n receiver-half correlations.
 func (r *RemoteReceiver) COTs(n int) ([]bool, []block.Block, error) { return r.s.ReceiverCOTs(n) }
+
+// Stats reports the session's server-side receiver-half pool counters
+// (zero value if the STATS round trip fails).
+func (r *RemoteReceiver) Stats() pool.Stats {
+	st, err := r.s.Stats()
+	if err != nil {
+		return pool.Stats{}
+	}
+	return st.Receiver.poolStats()
+}
+
+// Close drops the underlying session handle's reference.
+func (r *RemoteReceiver) Close() error { return r.s.Close() }

@@ -1,6 +1,8 @@
 package otserv
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
@@ -10,7 +12,9 @@ import (
 
 	"ironman"
 	"ironman/internal/block"
+	"ironman/internal/extension"
 	"ironman/internal/ferret"
+	"ironman/internal/pool"
 )
 
 // testResolve serves small parameter sets so sessions are cheap.
@@ -415,4 +419,179 @@ func TestSharedClientConcurrentSessions(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestBackendNegotiation: HELLO negotiates the extension backend, the
+// session handle and STATS report it, and draws verify on every
+// advertised backend.
+func TestBackendNegotiation(t *testing.T) {
+	addr, _ := startServer(t, Config{})
+	c := dial(t, addr)
+	dump, err := c.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := extension.Names()
+	if len(dump.Backends) != len(want) {
+		t.Fatalf("advertised backends %v, want %v", dump.Backends, want)
+	}
+	for i, name := range want {
+		if dump.Backends[i] != name {
+			t.Fatalf("advertised backends %v, want %v", dump.Backends, want)
+		}
+	}
+	for _, name := range want {
+		sess, err := c.NewSession(SessionConfig{Params: "small", Backend: name})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sess.Backend() != name {
+			t.Fatalf("session backend = %q, want %q", sess.Backend(), name)
+		}
+		delta, _ := sess.Delta()
+		z, err := sess.SenderCOTs(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits, y, err := sess.ReceiverCOTs(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verify(t, delta, z, bits, y)
+		st, err := sess.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Backend != name {
+			t.Fatalf("session stats backend = %q, want %q", st.Backend, name)
+		}
+		attached, err := c.Attach(sess.ID(), sess.ReceiverToken())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attached.Backend() != name {
+			t.Fatalf("attached backend = %q, want %q", attached.Backend(), name)
+		}
+	}
+	// An empty request gets the default backend.
+	sess, err := c.NewSession(SessionConfig{Params: "small"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Backend() != extension.Default {
+		t.Fatalf("default backend = %q, want %q", sess.Backend(), extension.Default)
+	}
+}
+
+// TestBackendRejection: an unsupported backend fails the handshake with
+// the typed sentinel on the client, and the server refuses before any
+// session state (visible as zero sessions opened) exists.
+func TestBackendRejection(t *testing.T) {
+	addr, _ := startServer(t, Config{Backends: []string{"ferret"}})
+	c := dial(t, addr)
+	if _, err := c.NewSession(SessionConfig{Params: "small", Backend: "softspoken"}); !errors.Is(err, ErrBackendUnsupported) {
+		t.Fatalf("err = %v, want ErrBackendUnsupported", err)
+	}
+	if _, err := c.NewSession(SessionConfig{Params: "small", Backend: "iknp-classic"}); !errors.Is(err, ErrBackendUnsupported) {
+		t.Fatalf("err = %v, want ErrBackendUnsupported", err)
+	}
+	dump, err := c.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump.SessionsOpened != 0 || dump.Sessions != 0 {
+		t.Fatalf("rejected HELLOs left session state: %+v", dump)
+	}
+	if len(dump.Backends) != 1 || dump.Backends[0] != "ferret" {
+		t.Fatalf("advertised backends %v, want [ferret]", dump.Backends)
+	}
+	// The allowlisted backend still works.
+	if _, err := c.NewSession(SessionConfig{Params: "small", Backend: "ferret"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHelloVersioning: future versions are refused with the typed
+// sentinel; the legacy v1 bare-JSON HELLO is still accepted for the
+// compatibility window and lands on the default backend.
+func TestHelloVersioning(t *testing.T) {
+	addr, _ := startServer(t, Config{})
+	c := dial(t, addr)
+
+	// A v3 client (version byte the server does not speak).
+	body, err := json.Marshal(helloReq{V: 3, Params: "small"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.roundTrip(append([]byte{opHello, 3}, body...)); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("err = %v, want ErrVersionMismatch", err)
+	}
+	// A frame/body version disagreement.
+	if _, err := c.roundTrip(append([]byte{opHello, ProtoVersion}, body...)); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("err = %v, want ErrVersionMismatch", err)
+	}
+	// An empty HELLO body.
+	if _, err := c.roundTrip([]byte{opHello}); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("err = %v, want ErrVersionMismatch", err)
+	}
+
+	// Legacy v1: bare JSON body, no version byte, no backend field.
+	legacy, err := json.Marshal(helloReq{V: 1, Params: "small"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.roundTrip(append([]byte{opHello}, legacy...))
+	if err != nil {
+		t.Fatalf("legacy v1 HELLO must stay accepted: %v", err)
+	}
+	var resp helloResp
+	if err := json.Unmarshal(out, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Backend != extension.Default {
+		t.Fatalf("legacy session backend = %q, want default %q", resp.Backend, extension.Default)
+	}
+	z, err := (&Session{c: c, id: resp.Session, batch: resp.Batch}).SenderCOTs(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z) != 64 {
+		t.Fatalf("legacy session draw yielded %d", len(z))
+	}
+}
+
+// TestRemoteDrawersAreSources: the remote drawer adapters satisfy the
+// pool source contracts end to end — stats round-trip through the
+// server and Close releases the session.
+func TestRemoteDrawersAreSources(t *testing.T) {
+	addr, _ := startServer(t, Config{})
+	c := dial(t, addr)
+	sess, err := c.NewSession(SessionConfig{Params: "small"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src pool.SenderSource = sess.Sender()
+	if _, err := src.COTs(80); err != nil {
+		t.Fatal(err)
+	}
+	var rsrc pool.ReceiverSource = sess.Receiver()
+	if _, _, err := rsrc.COTs(80); err != nil {
+		t.Fatal(err)
+	}
+	if st := src.Stats(); st.Dispensed != 80 || st.Generated < 80 {
+		t.Fatalf("sender source stats: %+v", st)
+	}
+	if st := rsrc.Stats(); st.Dispensed != 80 {
+		t.Fatalf("receiver source stats: %+v", st)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := c.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump.Sessions != 0 {
+		t.Fatalf("source Close did not release the session: %+v", dump)
+	}
 }

@@ -20,9 +20,12 @@
 // Wire protocol (one framed transport message per request/response):
 //
 //	request  = op:1 body
-//	response = status:1 body        status 0 = ok, 1 = error string
+//	response = status:1 body        status 0 = ok, body per op
+//	                                status 1 = error string
+//	                                status 2 = version mismatch (string)
+//	                                status 3 = backend unsupported (string)
 //
-//	HELLO  op=1 body=JSON helloReq   -> JSON helloResp (Δ + tokens)
+//	HELLO  op=1 body=ver:1 JSON helloReq -> JSON helloResp (Δ + tokens)
 //	ATTACH op=2 body=JSON attachReq  -> JSON attachResp (role, no Δ)
 //	DRAW_S op=3 session:8 n:4        -> n*16 bytes of r0 blocks
 //	DRAW_R op=4 session:8 n:4        -> ceil(n/8) choice-bit bytes
@@ -30,19 +33,31 @@
 //	STATS  op=5 session:8 (0=server) -> JSON StatsDump / SessionStats
 //	CLOSE  op=6 session:8            -> empty (drops one attachment)
 //
+// The HELLO body leads with one protocol-version byte (ProtoVersion,
+// currently 2) so version negotiation happens before the server parses
+// anything else; version 2 of the handshake also negotiates the
+// session's extension backend (helloReq.Backend, echoed in every
+// response that describes the session). Legacy v1 clients sent a bare
+// JSON body — the server still accepts it for one release, keyed on
+// the first byte being '{' (0x7b, which no version byte will ever be),
+// and gives such sessions the default backend.
+//
 // All integers are little-endian.
 package otserv
 
 import (
 	"encoding/binary"
+	"encoding/json"
+	"errors"
 	"fmt"
 
 	"ironman/internal/block"
 	"ironman/internal/transport"
 )
 
-// ProtoVersion is bumped on incompatible wire changes.
-const ProtoVersion = 1
+// ProtoVersion is bumped on incompatible wire changes. Version 2 added
+// the HELLO leading version byte and backend negotiation.
+const ProtoVersion = 2
 
 const (
 	opHello  byte = 0x01
@@ -54,17 +69,41 @@ const (
 )
 
 const (
-	statusOK  byte = 0
+	statusOK byte = 0
+	// statusErr carries a free-form error string.
 	statusErr byte = 1
+	// statusErrVersion rejects a HELLO whose protocol version the
+	// server does not speak; clients surface it as ErrVersionMismatch.
+	statusErrVersion byte = 2
+	// statusErrBackend rejects a HELLO naming an extension backend the
+	// server does not serve; clients surface it as
+	// ErrBackendUnsupported. Sent before any session state exists.
+	statusErrBackend byte = 3
 )
+
+// ErrVersionMismatch is the typed rejection for a HELLO whose protocol
+// version the peer does not speak; match with errors.Is on both the
+// server's handshake path and the client's NewSession error.
+var ErrVersionMismatch = errors.New("otserv: protocol version mismatch")
+
+// ErrBackendUnsupported is the typed rejection for a HELLO naming an
+// extension backend the server does not serve. The server refuses
+// before creating any session state, so no draw traffic ever flows for
+// a misnegotiated backend; match with errors.Is.
+var ErrBackendUnsupported = errors.New("otserv: backend unsupported")
 
 // MaxDraw caps a single DRAW request so the response stays well under
 // transport.MaxMessage (2^21 blocks = 32 MiB + choice bits).
 const MaxDraw = 1 << 21
 
 type helloReq struct {
-	V         int    `json:"v"`
-	Params    string `json:"params,omitempty"` // "" selects the server default
+	V      int    `json:"v"`
+	Params string `json:"params,omitempty"` // "" selects the server default
+	// Backend names the extension backend the session should run on
+	// ("" = the server's default, extension.Default). The server
+	// advertises what it serves in StatsDump.Backends and rejects
+	// unsupported names with statusErrBackend before opening anything.
+	Backend   string `json:"backend,omitempty"`
 	BinaryAES bool   `json:"binary_aes,omitempty"`
 	Depth     int    `json:"depth,omitempty"` // prefetch batches; 0 = server default
 	LowWater  int    `json:"low_water,omitempty"`
@@ -77,7 +116,8 @@ type helloReq struct {
 type helloResp struct {
 	Session uint64 `json:"session"`
 	Params  string `json:"params"`
-	Batch   int    `json:"batch"` // correlations per Extend batch
+	Backend string `json:"backend"` // negotiated extension backend
+	Batch   int    `json:"batch"`   // correlations per Extend batch
 	DeltaLo uint64 `json:"delta_lo"`
 	DeltaHi uint64 `json:"delta_hi"`
 	// Attach tokens: capability secrets the creator hands to the
@@ -104,9 +144,10 @@ const (
 )
 
 type attachResp struct {
-	Params string `json:"params"`
-	Batch  int    `json:"batch"`
-	Role   Role   `json:"role"`
+	Params  string `json:"params"`
+	Backend string `json:"backend"`
+	Batch   int    `json:"batch"`
+	Role    Role   `json:"role"`
 }
 
 // HalfStats is one pool half's counters as served by STATS.
@@ -124,6 +165,7 @@ type HalfStats struct {
 type SessionStats struct {
 	ID       uint64    `json:"id"`
 	Params   string    `json:"params"`
+	Backend  string    `json:"backend"`
 	Refs     int       `json:"refs"`
 	Sender   HalfStats `json:"sender"`
 	Receiver HalfStats `json:"receiver"`
@@ -131,11 +173,56 @@ type SessionStats struct {
 
 // StatsDump is the server-wide STATS view.
 type StatsDump struct {
-	Sessions       int            `json:"sessions"`
-	SessionsOpened uint64         `json:"sessions_opened"`
-	SessionsClosed uint64         `json:"sessions_closed"`
-	MaxSessions    int            `json:"max_sessions"`
-	PerSession     []SessionStats `json:"per_session,omitempty"`
+	Sessions       int    `json:"sessions"`
+	SessionsOpened uint64 `json:"sessions_opened"`
+	SessionsClosed uint64 `json:"sessions_closed"`
+	MaxSessions    int    `json:"max_sessions"`
+	// Backends is the server's advertised extension-backend allowlist.
+	Backends   []string       `json:"backends"`
+	PerSession []SessionStats `json:"per_session,omitempty"`
+}
+
+// helloBody frames a v2 HELLO request body: the protocol version byte
+// followed by the JSON helloReq.
+func helloBody(req helloReq) ([]byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte{ProtoVersion}, body...), nil
+}
+
+// parseHello decodes a HELLO body of either framing generation: v2
+// leads with the version byte, legacy v1 was a bare JSON object (first
+// byte '{', which no version byte can collide with). Anything else is
+// an ErrVersionMismatch-wrapping rejection.
+func parseHello(body []byte) (helloReq, error) {
+	var req helloReq
+	if len(body) == 0 {
+		return req, fmt.Errorf("%w: empty HELLO body", ErrVersionMismatch)
+	}
+	switch {
+	case body[0] == ProtoVersion:
+		if err := json.Unmarshal(body[1:], &req); err != nil {
+			return req, fmt.Errorf("otserv: bad HELLO: %w", err)
+		}
+		if req.V != ProtoVersion {
+			return req, fmt.Errorf("%w: frame says v%d, body says v%d", ErrVersionMismatch, ProtoVersion, req.V)
+		}
+		return req, nil
+	case body[0] == '{':
+		// Legacy v1 compatibility window: bare JSON, no version byte,
+		// no backend field. Removed one release after v2.
+		if err := json.Unmarshal(body, &req); err != nil {
+			return req, fmt.Errorf("otserv: bad HELLO: %w", err)
+		}
+		if req.V != 1 {
+			return req, fmt.Errorf("%w: client speaks v%d, server speaks v%d", ErrVersionMismatch, req.V, ProtoVersion)
+		}
+		return req, nil
+	default:
+		return req, fmt.Errorf("%w: client speaks v%d, server speaks v%d", ErrVersionMismatch, body[0], ProtoVersion)
+	}
 }
 
 // drawReq encodes a DRAW_S/DRAW_R request.

@@ -13,11 +13,11 @@ import (
 	"sync"
 
 	"ironman/internal/block"
+	"ironman/internal/extension"
 	"ironman/internal/ferret"
 	"ironman/internal/obs"
 	"ironman/internal/parallel"
 	"ironman/internal/pool"
-	"ironman/internal/prg"
 	"ironman/internal/transport"
 )
 
@@ -36,6 +36,11 @@ type Config struct {
 	MaxDepth int
 	// MaxSessions bounds concurrently open sessions. Default 64.
 	MaxSessions int
+	// Backends is the extension-backend allowlist this server serves
+	// (advertised in StatsDump.Backends; HELLOs naming anything else
+	// are rejected with statusErrBackend before any session state is
+	// created). nil serves every registered backend (extension.Names).
+	Backends []string
 	// Workers is the per-session Extend worker cap (the multicore
 	// pipeline knob, see ferret.Options.Workers) applied when a HELLO
 	// requests none, and the clamp for HELLOs that request more. 0
@@ -67,13 +72,40 @@ func (c Config) withDefaults() Config {
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 64
 	}
+	if len(c.Backends) == 0 {
+		c.Backends = extension.Names()
+	} else {
+		c.Backends = append([]string(nil), c.Backends...)
+		sort.Strings(c.Backends)
+	}
 	return c
+}
+
+// backend resolves a HELLO's backend request against the server's
+// allowlist. Failures wrap ErrBackendUnsupported and happen before any
+// session state exists.
+func (c Config) backend(name string) (extension.Backend, error) {
+	if name == "" {
+		name = extension.Default
+	}
+	for _, allowed := range c.Backends {
+		if name == allowed {
+			b, err := extension.ByName(name)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBackendUnsupported, err)
+			}
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q (this server serves: %s)",
+		ErrBackendUnsupported, name, strings.Join(c.Backends, " "))
 }
 
 // session is one dealt correlation stream and its prefetching pool.
 type session struct {
 	id         uint64
 	paramsName string
+	backend    string // negotiated extension backend
 	batch      int
 	delta      block.Block
 	tokenS     string // attach capability for the sender half
@@ -246,7 +278,19 @@ func (s *Server) handleConn(conn transport.Conn) {
 }
 
 func respOK(body []byte) []byte { return append([]byte{statusOK}, body...) }
-func respErr(err error) []byte  { return append([]byte{statusErr}, err.Error()...) }
+
+// respErr picks the response status from the error's type so clients
+// can rebuild the typed sentinel with errors.Is.
+func respErr(err error) []byte {
+	status := statusErr
+	switch {
+	case errors.Is(err, ErrVersionMismatch):
+		status = statusErrVersion
+	case errors.Is(err, ErrBackendUnsupported):
+		status = statusErrBackend
+	}
+	return append([]byte{status}, err.Error()...)
+}
 func respJSON(v any) []byte {
 	body, err := json.Marshal(v)
 	if err != nil {
@@ -299,12 +343,16 @@ func newToken() (string, error) {
 }
 
 func (s *Server) handleHello(body []byte, owned map[uint64]*attachment) []byte {
-	var req helloReq
-	if err := json.Unmarshal(body, &req); err != nil {
-		return respErr(fmt.Errorf("otserv: bad HELLO: %w", err))
+	req, err := parseHello(body)
+	if err != nil {
+		return respErr(err)
 	}
-	if req.V != ProtoVersion {
-		return respErr(fmt.Errorf("otserv: protocol version %d, server speaks %d", req.V, ProtoVersion))
+	// Backend negotiation happens before params resolution and session
+	// construction: an unsupported backend must be refused while zero
+	// session state (and zero draw traffic) exists.
+	backend, err := s.cfg.backend(req.Backend)
+	if err != nil {
+		return respErr(err)
 	}
 	name := req.Params
 	if name == "" {
@@ -321,7 +369,7 @@ func (s *Server) handleHello(body []byte, owned map[uint64]*attachment) []byte {
 	if depth > s.cfg.MaxDepth {
 		depth = s.cfg.MaxDepth
 	}
-	sess, err := s.openSession(name, params, req, depth)
+	sess, err := s.openSession(name, params, backend, req, depth)
 	if err != nil {
 		return respErr(err)
 	}
@@ -329,6 +377,7 @@ func (s *Server) handleHello(body []byte, owned map[uint64]*attachment) []byte {
 	return respJSON(helloResp{
 		Session:       sess.id,
 		Params:        name,
+		Backend:       sess.backend,
 		Batch:         sess.batch,
 		DeltaLo:       sess.delta.Lo,
 		DeltaHi:       sess.delta.Hi,
@@ -347,8 +396,9 @@ func (s *Server) sessionWorkers(requested int) int {
 	return requested
 }
 
-// openSession builds the in-process dealt ferret pair and its pool.
-func (s *Server) openSession(name string, params ferret.Params, req helloReq, depth int) (*session, error) {
+// openSession builds the in-process dealt extension pair and its pool
+// on the negotiated backend.
+func (s *Server) openSession(name string, params ferret.Params, backend extension.Backend, req helloReq, depth int) (*session, error) {
 	var deltaBytes [block.Size]byte
 	if _, err := rand.Read(deltaBytes[:]); err != nil {
 		return nil, err
@@ -363,28 +413,25 @@ func (s *Server) openSession(name string, params ferret.Params, req helloReq, de
 		return nil, err
 	}
 
-	fo := ferret.Options{Workers: s.sessionWorkers(req.Workers)}
-	if req.BinaryAES {
-		fo.PRG = prg.New(prg.AES, 2)
+	eo := extension.Options{
+		Workers:   s.sessionWorkers(req.Workers),
+		BinaryAES: req.BinaryAES,
 	}
 	connA, connB := transport.Pipe()
-	fs, fr, err := ferret.DealPools(connA, connB, delta, params, fo)
+	es, er, err := backend.DealPair(connA, connB, delta, params, eo)
 	if err != nil {
 		_ = connA.Close()
 		_ = connB.Close()
 		return nil, err
 	}
 	src := func() ([]block.Block, []bool, []block.Block, error) {
-		z, out, err := ferret.ExtendLockstep(fs, fr)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		return z, out.Bits, out.Blocks, nil
+		return extension.ExtendLockstep(es, er)
 	}
 
 	sess := &session{
 		paramsName: name,
-		batch:      params.Usable(),
+		backend:    backend.Name(),
+		batch:      backend.Batch(params),
 		delta:      delta,
 		tokenS:     tokenS,
 		tokenR:     tokenR,
@@ -464,7 +511,7 @@ func (s *Server) handleAttach(body []byte, owned map[uint64]*attachment) []byte 
 	at.count++
 	at.sender = at.sender || role == RoleSender
 	at.receiver = at.receiver || role == RoleReceiver
-	return respJSON(attachResp{Params: sess.paramsName, Batch: sess.batch, Role: role})
+	return respJSON(attachResp{Params: sess.paramsName, Backend: sess.backend, Batch: sess.batch, Role: role})
 }
 
 func (s *Server) handleDraw(op byte, body []byte, owned map[uint64]*attachment) []byte {
@@ -519,6 +566,7 @@ func (sess *session) stats(refs int) SessionStats {
 	return SessionStats{
 		ID:       sess.id,
 		Params:   sess.paramsName,
+		Backend:  sess.backend,
 		Refs:     refs,
 		Sender:   halfStats(sess.obsS.Snapshot()),
 		Receiver: halfStats(sess.obsR.Snapshot()),
@@ -557,6 +605,7 @@ func (s *Server) statsDump() StatsDump {
 		SessionsOpened: s.opened,
 		SessionsClosed: s.torn,
 		MaxSessions:    s.cfg.MaxSessions,
+		Backends:       s.cfg.Backends,
 	}
 	type entry struct {
 		sess *session

@@ -11,7 +11,7 @@ import (
 
 // dealtSlowSource yields lockstep batches of `batch` correlations
 // after sleeping d per refill (simulated protocol latency).
-func dealtSlowSource(batch int, d time.Duration) DealtSource {
+func dealtSlowSource(batch int, d time.Duration) DealtRefill {
 	return func() ([]block.Block, []bool, []block.Block, error) {
 		if d > 0 {
 			time.Sleep(d)

@@ -308,21 +308,21 @@ func (b *bitBuf) pop(n int) ([]bool, []block.Block) {
 	return bits, blocks
 }
 
-// SenderSource produces one batch of sender-half correlations
+// SenderRefill produces one batch of sender-half correlations
 // (r0 blocks under the pool owner's Δ). ferret.(*Sender).Extend fits.
-type SenderSource func() ([]block.Block, error)
+type SenderRefill func() ([]block.Block, error)
 
 // Sender buffers the sender half of a correlation stream.
 type Sender struct {
 	core
-	src   SenderSource
+	src   SenderRefill
 	buf   blockBuf
 	stats Stats
 }
 
 // NewSender builds a pool over src. With cfg.Depth > 0 a background
 // worker starts prefetching immediately.
-func NewSender(src SenderSource, cfg Config) *Sender {
+func NewSender(src SenderRefill, cfg Config) *Sender {
 	p := &Sender{src: src}
 	p.init(cfg)
 	if cfg.Depth > 0 {
@@ -413,20 +413,20 @@ func (p *Sender) Close() error {
 	return nil
 }
 
-// ReceiverSource produces one batch of receiver-half correlations
+// ReceiverRefill produces one batch of receiver-half correlations
 // (choice bits and r_b blocks).
-type ReceiverSource func() ([]bool, []block.Block, error)
+type ReceiverRefill func() ([]bool, []block.Block, error)
 
 // Receiver buffers the receiver half of a correlation stream.
 type Receiver struct {
 	core
-	src   ReceiverSource
+	src   ReceiverRefill
 	buf   bitBuf
 	stats Stats
 }
 
 // NewReceiver builds a pool over src; see NewSender.
-func NewReceiver(src ReceiverSource, cfg Config) *Receiver {
+func NewReceiver(src ReceiverRefill, cfg Config) *Receiver {
 	p := &Receiver{src: src}
 	p.init(cfg)
 	if cfg.Depth > 0 {
@@ -515,10 +515,10 @@ func (p *Receiver) Close() error {
 	return nil
 }
 
-// DealtSource runs one lockstep iteration of both endpoints of an
+// DealtRefill runs one lockstep iteration of both endpoints of an
 // in-process pair and returns the sender half (z) and the receiver
 // half (bits, y) of the fresh batch.
-type DealtSource func() (z []block.Block, bits []bool, y []block.Block, err error)
+type DealtRefill func() (z []block.Block, bits []bool, y []block.Block, err error)
 
 // Dealt buffers both halves of an in-process dealt correlation stream
 // under a single worker, so sender-half and receiver-half draws can
@@ -530,7 +530,7 @@ type DealtSource func() (z []block.Block, bits []bool, y []block.Block, err erro
 // DESIGN.md).
 type Dealt struct {
 	core
-	src    DealtSource
+	src    DealtRefill
 	sbuf   blockBuf
 	rbuf   bitBuf
 	sstats Stats
@@ -544,7 +544,7 @@ type Dealt struct {
 
 // NewDealt builds the two-halves pool; see NewSender for Depth
 // semantics.
-func NewDealt(src DealtSource, cfg Config) *Dealt {
+func NewDealt(src DealtRefill, cfg Config) *Dealt {
 	p := &Dealt{src: src}
 	p.init(cfg)
 	if cfg.Depth > 0 {
@@ -735,3 +735,56 @@ func (p *Dealt) Close() error {
 	p.close()
 	return nil
 }
+
+// SenderSource is the exported drawer contract for the sender half of
+// a correlation stream: anything that dispenses r0 blocks under one Δ.
+// The prefetching Sender pool, a Dealt pair's SenderHalf, and the
+// otserv remote dispenser client all satisfy it, so consumers (the
+// ironman endpoints, serving layers) program against one shape
+// regardless of where correlations come from.
+type SenderSource interface {
+	// COTs draws n correlations' r0 blocks (r1 = r0 ⊕ Δ implied).
+	COTs(n int) ([]block.Block, error)
+	// Stats snapshots this drawer's pool counters.
+	Stats() Stats
+	// Close releases the drawer (stops workers / closes sessions);
+	// draws after Close fail.
+	Close() error
+}
+
+// ReceiverSource is the receiver-half drawer contract: choice bits and
+// the matching r_b blocks. Same implementations as SenderSource.
+type ReceiverSource interface {
+	COTs(n int) ([]bool, []block.Block, error)
+	Stats() Stats
+	Close() error
+}
+
+// The prefetching pools satisfy the drawer contracts directly.
+var (
+	_ SenderSource   = (*Sender)(nil)
+	_ ReceiverSource = (*Receiver)(nil)
+)
+
+// senderHalf / receiverHalf adapt one shared Dealt to the drawer
+// contracts. Close on either half closes the shared pool (idempotent),
+// since a dealt pair's generator serves both directions.
+type senderHalf struct{ d *Dealt }
+
+func (h senderHalf) COTs(n int) ([]block.Block, error) { return h.d.SenderCOTs(n) }
+func (h senderHalf) Stats() Stats                      { s, _ := h.d.Stats(); return s }
+func (h senderHalf) Close() error                      { return h.d.Close() }
+
+type receiverHalf struct{ d *Dealt }
+
+func (h receiverHalf) COTs(n int) ([]bool, []block.Block, error) { return h.d.ReceiverCOTs(n) }
+func (h receiverHalf) Stats() Stats                              { _, r := h.d.Stats(); return r }
+func (h receiverHalf) Close() error                              { return h.d.Close() }
+
+// SenderHalf views the dealt pair's sender direction as a standalone
+// drawer; Close closes the SHARED generator, stopping both halves.
+func (p *Dealt) SenderHalf() SenderSource { return senderHalf{p} }
+
+// ReceiverHalf is the receiver-direction view; the same shared-Close
+// caveat applies.
+func (p *Dealt) ReceiverHalf() ReceiverSource { return receiverHalf{p} }

@@ -11,10 +11,10 @@ import (
 	"ironman/internal/transport"
 )
 
-// seqSource returns a SenderSource yielding batches of `batch` blocks
+// seqSource returns a SenderRefill yielding batches of `batch` blocks
 // whose Lo fields form the global sequence 0,1,2,..., after sleeping
 // for d (simulating interactive protocol latency).
-func seqSource(batch int, d time.Duration) SenderSource {
+func seqSource(batch int, d time.Duration) SenderRefill {
 	var next uint64
 	return func() ([]block.Block, error) {
 		if d > 0 {
@@ -245,7 +245,7 @@ func TestConcurrentDraws(t *testing.T) {
 
 // ferretDealtSource builds a lockstep Dealt source over an in-process
 // ferret pair — the same shape otserv sessions use.
-func ferretDealtSource(tb testing.TB, params ferret.Params) (DealtSource, block.Block) {
+func ferretDealtSource(tb testing.TB, params ferret.Params) (DealtRefill, block.Block) {
 	tb.Helper()
 	a, b := transport.Pipe()
 	delta := block.New(0x1234, 0x5678)
@@ -329,7 +329,7 @@ func TestDealtSyncMode(t *testing.T) {
 }
 
 // dealtSeqSource yields aligned synthetic batches for cap tests.
-func dealtSeqSource(batch int) DealtSource {
+func dealtSeqSource(batch int) DealtRefill {
 	var next uint64
 	return func() ([]block.Block, []bool, []block.Block, error) {
 		z := make([]block.Block, batch)

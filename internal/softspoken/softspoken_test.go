@@ -1,0 +1,216 @@
+package softspoken
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"ironman/internal/block"
+	"ironman/internal/transport"
+)
+
+const testN = 1024
+
+var testSeed = block.New(0x736f6674, 0x74657374)
+
+func checkCorrelation(t *testing.T, delta block.Block, z []block.Block, bits []bool, y []block.Block) {
+	t.Helper()
+	if len(z) != len(bits) || len(z) != len(y) {
+		t.Fatalf("length mismatch: %d/%d/%d", len(z), len(bits), len(y))
+	}
+	for i := range z {
+		want := y[i]
+		if bits[i] {
+			want = want.Xor(delta)
+		}
+		if z[i] != want {
+			t.Fatalf("correlation broken at %d", i)
+		}
+	}
+}
+
+func TestDealtCorrelationAllFieldSizes(t *testing.T) {
+	delta := block.New(0xdead, 0xbeef)
+	for _, k := range []int{1, 2, 4, 8} {
+		connS, connR := transport.Pipe()
+		s, r, err := DealPair(connS, connR, delta, testN, Options{FieldBits: k, Seed: testSeed})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		// Several iterations: the persistent leaf streams must stay in
+		// lockstep across Extends.
+		for it := 0; it < 3; it++ {
+			z, bits, y, err := ExtendLockstep(s, r)
+			if err != nil {
+				t.Fatalf("k=%d it=%d: %v", k, it, err)
+			}
+			if len(z) != testN {
+				t.Fatalf("k=%d: got %d correlations, want %d", k, len(z), testN)
+			}
+			checkCorrelation(t, delta, z, bits, y)
+		}
+	}
+}
+
+func TestNetworkSetup(t *testing.T) {
+	delta := block.New(0x1234, 0x5678)
+	connS, connR := transport.Pipe()
+	type res struct {
+		s   *Sender
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		s, err := NewSender(connS, delta, testN, Options{})
+		ch <- res{s, err}
+	}()
+	r, err := NewReceiver(connR, testN, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := <-ch
+	if sr.err != nil {
+		t.Fatal(sr.err)
+	}
+	for it := 0; it < 2; it++ {
+		z, bits, y, err := ExtendLockstep(sr.s, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkCorrelation(t, delta, z, bits, y)
+	}
+}
+
+func TestRandomDeltaChunks(t *testing.T) {
+	// A delta exercising every chunk value path (all-ones: hole =
+	// 2^k-1 everywhere) and the zero chunks (hole = 0).
+	for _, delta := range []block.Block{block.New(^uint64(0), ^uint64(0)), block.New(1, 0), {}} {
+		connS, connR := transport.Pipe()
+		s, r, err := DealPair(connS, connR, delta, testN, Options{Seed: testSeed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		z, bits, y, err := ExtendLockstep(s, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkCorrelation(t, delta, z, bits, y)
+	}
+}
+
+// recordingConn mirrors the ferret determinism-test idiom: it logs
+// every sent frame (length-prefixed) so two runs' transcripts can be
+// compared byte for byte.
+type recordingConn struct {
+	transport.Conn
+	log bytes.Buffer
+}
+
+func (c *recordingConn) Send(p []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(p)))
+	c.log.Write(hdr[:])
+	c.log.Write(p)
+	return c.Conn.Send(p)
+}
+
+func runSeeded(t *testing.T, workers int) (wire []byte, z []block.Block, bits []bool, y []block.Block) {
+	t.Helper()
+	delta := block.New(0xfeed, 0xface)
+	pS, pR := transport.Pipe()
+	connS := &recordingConn{Conn: pS}
+	connR := &recordingConn{Conn: pR}
+	s, r, err := DealPair(connS, connR, delta, testN, Options{Seed: testSeed, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it := 0; it < 2; it++ {
+		z, bits, y, err = ExtendLockstep(s, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkCorrelation(t, delta, z, bits, y)
+	}
+	all := append(connS.log.Bytes(), connR.log.Bytes()...)
+	return all, z, bits, y
+}
+
+func TestTranscriptDeterminismAcrossWorkers(t *testing.T) {
+	wire1, z1, bits1, y1 := runSeeded(t, 1)
+	for _, workers := range []int{2, 4} {
+		wireN, zN, bitsN, yN := runSeeded(t, workers)
+		if !bytes.Equal(wire1, wireN) {
+			t.Fatalf("workers=%d changed the wire transcript (%d vs %d bytes)", workers, len(wireN), len(wire1))
+		}
+		if !block.Equal(z1, zN) || !block.Equal(y1, yN) {
+			t.Fatalf("workers=%d changed the outputs", workers)
+		}
+		for i := range bits1 {
+			if bits1[i] != bitsN[i] {
+				t.Fatalf("workers=%d changed choice bit %d", workers, i)
+			}
+		}
+	}
+}
+
+func TestWireBytesExact(t *testing.T) {
+	delta := block.New(0xabcd, 0xef01)
+	for _, k := range []int{1, 2, 4, 8} {
+		connS, connR := transport.Pipe()
+		s, r, err := DealPair(connS, connR, delta, testN, Options{FieldBits: k, Seed: testSeed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const iters = 3
+		for it := 0; it < iters; it++ {
+			if _, _, _, err := ExtendLockstep(s, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := connS.Stats().TotalBytes()
+		if want := iters * WireBytes(testN, k); got != want {
+			t.Fatalf("k=%d: measured %d wire bytes over %d iterations, model says %d", k, got, iters, want)
+		}
+	}
+}
+
+// flippingConn corrupts one bit of the first received frame's y-check
+// section (its last byte), which must trip the sender's check rows.
+type flippingConn struct{ transport.Conn }
+
+func (c flippingConn) Recv() ([]byte, error) {
+	p, err := c.Conn.Recv()
+	if err == nil && len(p) > 0 {
+		p[len(p)-1] ^= 1
+	}
+	return p, err
+}
+
+func TestConsistencyCheckTripsOnCorruption(t *testing.T) {
+	delta := block.New(0x5555, 0xaaaa)
+	pS, connR := transport.Pipe()
+	s, r, err := DealPair(flippingConn{pS}, connR, delta, testN, Options{Seed: testSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Extend(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Extend(); !errors.Is(err, ErrConsistency) {
+		t.Fatalf("corrupted correction message: got %v, want ErrConsistency", err)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	connS, connR := transport.Pipe()
+	if _, _, err := DealPair(connS, connR, block.Block{}, testN, Options{FieldBits: 3}); err == nil {
+		t.Fatal("FieldBits=3 accepted")
+	}
+	if _, _, err := DealPair(connS, connR, block.Block{}, 1001, Options{}); err == nil {
+		t.Fatal("n=1001 accepted")
+	}
+	if _, _, err := DealPair(connS, connR, block.Block{}, 0, Options{}); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}

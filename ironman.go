@@ -29,12 +29,12 @@ import (
 	"ironman/internal/block"
 	"ironman/internal/circuit"
 	"ironman/internal/cot"
+	"ironman/internal/extension"
 	"ironman/internal/ferret"
 	"ironman/internal/gmw"
 	"ironman/internal/obs"
 	"ironman/internal/parallel"
 	"ironman/internal/pool"
-	"ironman/internal/prg"
 	"ironman/internal/transport"
 )
 
@@ -73,8 +73,18 @@ func ParamsByName(name string) (Params, error) { return ferret.ParamsByName(name
 
 // Options tunes a protocol endpoint.
 type Options struct {
+	// Backend selects the OT-extension protocol family by name:
+	// "ferret" (PCG-style LPN, the paper's design point and the
+	// default) or "softspoken" (small-field subfield-VOLE, one message
+	// flight per batch). "" selects the default. Both peers must pick
+	// the same backend; see the "Extension backends" section of
+	// DESIGN.md for the trade-offs and internal/extension for the
+	// contract.
+	Backend string
 	// FourAryChaCha selects the Ironman tree construction (default);
-	// set to false for the classic binary AES construction.
+	// set to false for the classic binary AES construction (on the
+	// softspoken backend trees are always binary AES and this is
+	// ignored).
 	FourAryChaCha bool
 	// Workers caps the goroutines the Extend hot path's local phases
 	// use — the rank-parallel LPN encode, concurrent GGM tree
@@ -121,18 +131,23 @@ type Options struct {
 	// transcript; nil — the default — compiles down to a nil check on
 	// the hot paths.
 	Trace *obs.Tracer
-	// Dealer skips the base-OT/IKNP initialization using local
-	// randomness — NOT secure, for tests and benchmarks only, and only
-	// valid with endpoints created through NewDealtPair.
-	dealt bool
+	// Seed, when non-zero, derives every endpoint-local random draw
+	// from deterministic streams — NOT secure; the backend-parity and
+	// determinism tests and the benchmark harness use it to make a
+	// dealt run a pure function of (delta, params, options).
+	Seed Block
 }
 
-func (o Options) ferretOpts() ferret.Options {
-	fo := ferret.Options{Workers: o.Workers, Trace: o.Trace}
-	if !o.FourAryChaCha {
-		fo.PRG = prg.New(prg.AES, 2)
+func (o Options) extOpts() extension.Options {
+	return extension.Options{
+		Workers: o.Workers, Trace: o.Trace, Seed: o.Seed,
+		BinaryAES: !o.FourAryChaCha,
 	}
-	return fo
+}
+
+// backend resolves Options.Backend against the registry.
+func (o Options) backend() (extension.Backend, error) {
+	return extension.ByName(o.Backend)
 }
 
 func (o Options) poolCfg() pool.Config {
@@ -173,40 +188,13 @@ func poolStats(s pool.Stats) PoolStats {
 	}
 }
 
-// senderDrawer is the sender half's buffer: a standalone pool.Sender
+// Sender produces correlations r0/r1 = r0 ⊕ Δ and converts them to OTs.
+// Its buffer is any pool.SenderSource: a standalone prefetching pool
 // for network endpoints, or one half of a shared lockstep pool.Dealt
 // for dealt pairs.
-type senderDrawer interface {
-	COTs(n int) ([]Block, error)
-	Stats() pool.Stats
-	Close() error
-}
-
-type receiverDrawer interface {
-	COTs(n int) ([]bool, []Block, error)
-	Stats() pool.Stats
-	Close() error
-}
-
-// dealtSenderHalf / dealtReceiverHalf adapt a shared pool.Dealt to the
-// drawer interfaces. Close on either half closes the shared pool
-// (idempotent).
-type dealtSenderHalf struct{ d *pool.Dealt }
-
-func (h dealtSenderHalf) COTs(n int) ([]Block, error) { return h.d.SenderCOTs(n) }
-func (h dealtSenderHalf) Stats() pool.Stats           { s, _ := h.d.Stats(); return s }
-func (h dealtSenderHalf) Close() error                { return h.d.Close() }
-
-type dealtReceiverHalf struct{ d *pool.Dealt }
-
-func (h dealtReceiverHalf) COTs(n int) ([]bool, []Block, error) { return h.d.ReceiverCOTs(n) }
-func (h dealtReceiverHalf) Stats() pool.Stats                   { _, r := h.d.Stats(); return r }
-func (h dealtReceiverHalf) Close() error                        { return h.d.Close() }
-
-// Sender produces correlations r0/r1 = r0 ⊕ Δ and converts them to OTs.
 type Sender struct {
-	f    *ferret.Sender
-	p    senderDrawer
+	ext  extension.Sender
+	p    pool.SenderSource
 	h    *aesprg.Hash
 	otct uint64
 	// conn is the endpoint's protocol conn; busy marks it off-limits to
@@ -225,8 +213,8 @@ type Sender struct {
 
 // Receiver holds choice bits and r_b blocks.
 type Receiver struct {
-	f        *ferret.Receiver
-	p        receiverDrawer
+	ext      extension.Receiver
+	p        pool.ReceiverSource
 	h        *aesprg.Hash
 	otct     uint64
 	conn     Conn
@@ -236,60 +224,59 @@ type Receiver struct {
 	trace    *obs.Tracer
 }
 
-func newSender(f *ferret.Sender, conn Conn, opts Options) *Sender {
+func newSender(ext extension.Sender, conn Conn, opts Options) *Sender {
 	s := &Sender{
-		f: f, p: pool.NewSender(f.Extend, opts.poolCfg()), h: aesprg.NewHash(),
+		ext: ext, p: pool.NewSender(ext.Extend, opts.poolCfg()), h: aesprg.NewHash(),
 		conn: conn, busy: new(atomic.Bool), workers: opts.Workers, trace: opts.Trace,
 	}
 	s.busy.Store(opts.Prefetch > 0)
 	return s
 }
 
-func newReceiver(f *ferret.Receiver, conn Conn, opts Options) *Receiver {
-	src := func() ([]bool, []Block, error) {
-		out, err := f.Extend()
-		if err != nil {
-			return nil, nil, err
-		}
-		return out.Bits, out.Blocks, nil
-	}
+func newReceiver(ext extension.Receiver, conn Conn, opts Options) *Receiver {
 	r := &Receiver{
-		f: f, p: pool.NewReceiver(src, opts.poolCfg()), h: aesprg.NewHash(),
+		ext: ext, p: pool.NewReceiver(ext.Extend, opts.poolCfg()), h: aesprg.NewHash(),
 		conn: conn, busy: new(atomic.Bool), workers: opts.Workers, trace: opts.Trace,
 	}
 	r.busy.Store(opts.Prefetch > 0)
 	return r
 }
 
-// NewSender initializes the sending endpoint (runs base OTs and IKNP
-// over conn; the peer must run NewReceiver concurrently). delta is the
-// global correlation; use RandomDelta for a fresh secret.
+// NewSender initializes the sending endpoint (runs the selected
+// backend's setup — base OTs plus its extension bootstrap — over conn;
+// the peer must run NewReceiver concurrently with the same
+// Options.Backend). delta is the global correlation; use RandomDelta
+// for a fresh secret.
 func NewSender(conn Conn, delta Block, params Params, opts Options) (*Sender, error) {
-	f, err := ferret.NewSender(conn, delta, params, opts.ferretOpts())
+	b, err := opts.backend()
 	if err != nil {
 		return nil, err
 	}
-	return newSender(f, conn, opts), nil
+	ext, err := b.NewSender(conn, delta, params, opts.extOpts())
+	if err != nil {
+		return nil, err
+	}
+	return newSender(ext, conn, opts), nil
 }
 
 // NewReceiver initializes the receiving endpoint.
 func NewReceiver(conn Conn, params Params, opts Options) (*Receiver, error) {
-	f, err := ferret.NewReceiver(conn, params, opts.ferretOpts())
+	b, err := opts.backend()
 	if err != nil {
 		return nil, err
 	}
-	return newReceiver(f, conn, opts), nil
+	ext, err := b.NewReceiver(conn, params, opts.extOpts())
+	if err != nil {
+		return nil, err
+	}
+	return newReceiver(ext, conn, opts), nil
 }
 
-// lockstepSource adapts ferret.ExtendLockstep to the pool.Dealt
-// source shape.
-func lockstepSource(fs *ferret.Sender, fr *ferret.Receiver) pool.DealtSource {
+// lockstepSource adapts extension.ExtendLockstep to the pool.Dealt
+// refill shape.
+func lockstepSource(es extension.Sender, er extension.Receiver) pool.DealtRefill {
 	return func() ([]Block, []bool, []Block, error) {
-		z, out, err := ferret.ExtendLockstep(fs, fr)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		return z, out.Bits, out.Blocks, nil
+		return extension.ExtendLockstep(es, er)
 	}
 }
 
@@ -305,23 +292,27 @@ func lockstepSource(fs *ferret.Sender, fr *ferret.Receiver) pool.DealtSource {
 // generator is shared, Close on either endpoint stops prefetching for
 // both.
 func NewDealtPair(connS, connR Conn, delta Block, params Params, opts Options) (*Sender, *Receiver, error) {
-	fs, fr, err := ferret.DealPools(connS, connR, delta, params, opts.ferretOpts())
+	b, err := opts.backend()
+	if err != nil {
+		return nil, nil, err
+	}
+	es, er, err := b.DealPair(connS, connR, delta, params, opts.extOpts())
 	if err != nil {
 		return nil, nil, err
 	}
 	if opts.Prefetch > 0 {
-		d := pool.NewDealt(lockstepSource(fs, fr), opts.poolCfg())
+		d := pool.NewDealt(lockstepSource(es, er), opts.poolCfg())
 		// One flag for the pair: closing either half stops the shared
 		// generator, so both conns become idle together.
 		busy := new(atomic.Bool)
 		busy.Store(true)
-		s := &Sender{f: fs, p: dealtSenderHalf{d}, h: aesprg.NewHash(),
+		s := &Sender{ext: es, p: d.SenderHalf(), h: aesprg.NewHash(),
 			conn: connS, peerConn: connR, busy: busy, workers: opts.Workers, trace: opts.Trace}
-		r := &Receiver{f: fr, p: dealtReceiverHalf{d}, h: aesprg.NewHash(),
+		r := &Receiver{ext: er, p: d.ReceiverHalf(), h: aesprg.NewHash(),
 			conn: connR, peerConn: connS, busy: busy, workers: opts.Workers, trace: opts.Trace}
 		return s, r, nil
 	}
-	return newSender(fs, connS, opts), newReceiver(fr, connR, opts), nil
+	return newSender(es, connS, opts), newReceiver(er, connR, opts), nil
 }
 
 // RandomDelta samples a fresh global correlation.
@@ -334,7 +325,7 @@ func RandomDelta() (Block, error) {
 }
 
 // Delta returns the sender's global correlation.
-func (s *Sender) Delta() Block { return s.f.Delta }
+func (s *Sender) Delta() Block { return s.ext.Delta() }
 
 // COTs returns n correlations' r0 blocks (r1 = r0 ⊕ Δ implied),
 // running protocol iterations with the peer as needed. With
@@ -427,7 +418,7 @@ func (s *Sender) RandomOTs(n int) ([][2]Block, error) {
 		for i := lo; i < hi; i++ {
 			tweak := base + uint64(i)
 			out[i][0] = s.h.Sum(r0[i], tweak)
-			out[i][1] = s.h.Sum(r0[i].Xor(s.f.Delta), tweak)
+			out[i][1] = s.h.Sum(r0[i].Xor(s.ext.Delta()), tweak)
 		}
 		if sp.Live() {
 			sp.EndArgs(map[string]any{"ots": hi - lo})
@@ -563,7 +554,7 @@ func (s *Sender) GMWPool(n int) (*GMWSenderPool, error) {
 	if err != nil {
 		return nil, err
 	}
-	return cot.NewSenderPool(s.f.Delta, r0), nil
+	return cot.NewSenderPool(s.ext.Delta(), r0), nil
 }
 
 // GMWPool materializes n correlations from this endpoint into a pool

@@ -95,13 +95,15 @@ go test -race ./...
 echo "== engine metrics (ironman-bench -exp gmw,arith,extend -json) =="
 # One document carries the gmw metrics (AND/s, B/AND, wire reduction),
 # the arith metrics (triples/s, B/triple, matmul GFLOP-equiv), and the
-# extend worker-scaling curve (COT/s per worker count, constant B/COT).
+# extend worker-scaling curves for BOTH extension backends on the same
+# parameter set (COT/s per worker count, constant B/COT; the run panics
+# if either backend's measured wire bytes drift from its Cost model).
 trace_json=${TRACE_JSON:-$bindir/extend-trace.json}
 if [ -n "${BENCH_JSON:-}" ]; then
-    go run ./cmd/ironman-bench -quick -exp gmw,arith,extend -json -trace "$trace_json" > "$BENCH_JSON"
+    go run ./cmd/ironman-bench -quick -exp gmw,arith,extend -backend ferret,softspoken -json -trace "$trace_json" > "$BENCH_JSON"
     echo "archived to $BENCH_JSON"
 else
-    go run ./cmd/ironman-bench -quick -exp gmw,arith,extend -json -trace "$trace_json"
+    go run ./cmd/ironman-bench -quick -exp gmw,arith,extend -backend ferret,softspoken -json -trace "$trace_json"
 fi
 
 echo "== circuit frontend metrics (ironman-bench -exp circuit) =="
@@ -122,6 +124,7 @@ grep -q '"traceEvents"' "$trace_json"
 grep -q '"extend"' "$trace_json"
 grep -q '"lpn.encode"' "$trace_json"
 grep -q '"spcot.expand"' "$trace_json"
+grep -q '"softspoken.expand"' "$trace_json"
 echo "trace artifact OK ($trace_json)"
 
 echo "CI OK"
