@@ -107,6 +107,9 @@ var all = []experiment{
 	{"circuit", "Bristol circuit evaluation vs cost model", func(o experiments.Options) (any, string) {
 		return both(experiments.CircuitBench(o), experiments.RenderCircuit)
 	}},
+	{"fleet", "sharded dispenser fleet under concurrent-session load", func(o experiments.Options) (any, string) {
+		return both(experiments.FleetBench(o), experiments.RenderFleet)
+	}},
 }
 
 // validNames lists every accepted -exp name (sorted, "all" and "list"

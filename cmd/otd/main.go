@@ -4,8 +4,16 @@
 //
 //	otd -listen :7117 -params 2^20 -prefetch 2 -max-sessions 64
 //
-// Clients open sessions with internal/otserv.Client. Query a running
-// daemon's counters with:
+// A fleet runs N otd shards plus one otd router in front:
+//
+//	otd -listen :7601 -shard-id 1 &
+//	otd -listen :7602 -shard-id 2 &
+//	otd -listen :7603 -shard-id 3 &
+//	otd -route -listen :7600 -shards 127.0.0.1:7601,127.0.0.1:7602,127.0.0.1:7603
+//
+// Clients open sessions with internal/otserv.Client against either a
+// standalone daemon or the router — the protocol is identical. Query a
+// running daemon's counters with:
 //
 //	otd -stats -connect host:7117
 //
@@ -13,6 +21,9 @@
 // dump, and pprof profiles (keep it on loopback or a scrape network):
 //
 //	otd -listen :7117 -admin 127.0.0.1:9090
+//
+// In router mode the admin listener serves the fleet surface instead
+// (/metrics /healthz /shards /shards/add /shards/drain).
 package main
 
 import (
@@ -26,9 +37,12 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"ironman/internal/extension"
+	"ironman/internal/ferret"
 	"ironman/internal/otserv"
+	"ironman/internal/otserv/router"
 )
 
 func main() {
@@ -39,6 +53,12 @@ func main() {
 	maxDepth := flag.Int("max-depth", 8, "cap on client-requested prefetch depth")
 	maxSessions := flag.Int("max-sessions", 64, "concurrent session limit")
 	workers := flag.Int("workers", 0, "per-session Extend worker goroutines (0 = GOMAXPROCS)")
+	shardID := flag.Uint64("shard-id", 0, "fleet shard id stamped into session ids (0 = standalone)")
+	lease := flag.Duration("lease", 0, "default session lease for orphaned sessions (0 = server default)")
+	tiny := flag.Bool("tiny", false, "also serve the test-scale parameter sets tiny/small (CI fleets)")
+	route := flag.Bool("route", false, "run as the fleet router instead of a dispenser shard")
+	shards := flag.String("shards", "", "router mode: comma-separated shard addresses")
+	drainWait := flag.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGTERM before forcing connections closed")
 	stats := flag.Bool("stats", false, "dump a running daemon's stats and exit")
 	connect := flag.String("connect", "", "daemon address for -stats")
 	admin := flag.String("admin", "", "admin HTTP address for /metrics, /healthz, /sessions, pprof (e.g. 127.0.0.1:9090)")
@@ -49,6 +69,10 @@ func main() {
 			log.Fatal("-stats needs -connect host:port")
 		}
 		dumpStats(*connect)
+		return
+	}
+	if *route {
+		runRouter(*listen, *shards, *admin)
 		return
 	}
 
@@ -64,14 +88,20 @@ func main() {
 		backendList = append(backendList, name)
 	}
 
-	srv := otserv.NewServer(otserv.Config{
+	cfg := otserv.Config{
 		DefaultParams: *params,
 		Depth:         *prefetch,
 		MaxDepth:      *maxDepth,
 		MaxSessions:   *maxSessions,
 		Workers:       *workers,
 		Backends:      backendList,
-	})
+		ShardID:       *shardID,
+		Lease:         *lease,
+	}
+	if *tiny {
+		cfg.Resolve = testScaleResolve
+	}
+	srv := otserv.NewServer(cfg)
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
@@ -80,15 +110,15 @@ func main() {
 	if len(served) == 0 {
 		served = extension.Names()
 	}
-	log.Printf("otd: dispensing on %s (params %s, backends %s, prefetch %d, max %d sessions)",
-		ln.Addr(), *params, strings.Join(served, ","), *prefetch, *maxSessions)
+	log.Printf("otd: dispensing on %s (shard %d, params %s, backends %s, prefetch %d, max %d sessions)",
+		ln.Addr(), *shardID, *params, strings.Join(served, ","), *prefetch, *maxSessions)
 
 	if *admin != "" {
 		aln, err := net.Listen("tcp", *admin)
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("otd: admin endpoint on http://%s (/metrics /healthz /sessions /debug/pprof)", aln.Addr())
+		log.Printf("otd: admin endpoint on http://%s (/metrics /healthz /sessions /drain /debug/pprof)", aln.Addr())
 		go func() {
 			if err := http.Serve(aln, srv.AdminHandler()); err != nil {
 				log.Printf("otd: admin listener: %v", err)
@@ -100,12 +130,75 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		log.Print("otd: shutting down")
-		if err := srv.Close(); err != nil {
-			log.Printf("otd: close: %v", err)
+		// Drain first: stop accepting, let in-flight requests finish,
+		// tear sessions down in order, then exit. A second signal (or
+		// the drain budget running out) forces the remaining
+		// connections closed.
+		log.Printf("otd: draining (budget %s)", *drainWait)
+		if err := srv.Shutdown(*drainWait); err != nil {
+			log.Printf("otd: shutdown: %v", err)
 		}
+		os.Exit(0)
 	}()
 	if err := srv.Serve(ln); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// testScaleResolve layers the CI-scale parameter sets over the paper's
+// Table 4 names so a laptop fleet can open hundreds of sessions.
+func testScaleResolve(name string) (ferret.Params, error) {
+	switch name {
+	case "tiny":
+		return ferret.TestParams(600, 32, 128, 8), nil
+	case "small":
+		return ferret.TestParams(3000, 32, 512, 16), nil
+	}
+	return ferret.ParamsByName(name)
+}
+
+// runRouter serves the fleet-router mode of otd.
+func runRouter(listen, shardCSV, admin string) {
+	var addrs []string
+	for _, a := range strings.Split(shardCSV, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		log.Fatal("otd: -route needs -shards host:port,host:port,...")
+	}
+	r := router.New(router.Config{Shards: addrs})
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("otd: routing on %s across %d shards (%s)", ln.Addr(), len(addrs), strings.Join(addrs, ","))
+
+	if admin != "" {
+		aln, err := net.Listen("tcp", admin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("otd: router admin on http://%s (/metrics /healthz /shards)", aln.Addr())
+		go func() {
+			if err := http.Serve(aln, r.AdminHandler()); err != nil {
+				log.Printf("otd: admin listener: %v", err)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Print("otd: router shutting down")
+		if err := r.Close(); err != nil {
+			log.Printf("otd: close: %v", err)
+		}
+		os.Exit(0)
+	}()
+	if err := r.Serve(ln); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -15,8 +15,9 @@ import (
 // Routes:
 //
 //	/metrics       Prometheus text exposition (0.0.4) of the registry
-//	/healthz       200 "ok" liveness probe
+//	/healthz       200 "ok" liveness probe; 503 "draining" in lame-duck
 //	/sessions      JSON StatsDump, same shape as the STATS protocol op
+//	/drain         POST: enter lame-duck mode (shard drains for removal)
 //	/debug/pprof/  standard net/http/pprof profiles
 func (s *Server) AdminHandler() http.Handler {
 	mux := http.NewServeMux()
@@ -29,13 +30,33 @@ func (s *Server) AdminHandler() http.Handler {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.sessions.Draining() {
+			// Lame-duck is visible to probes (the router also learns it
+			// in-band from ErrDraining HELLO rejections).
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("draining\n"))
+			return
+		}
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("/sessions", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(s.statsDump())
+		enc.Encode(s.sessions.Dump())
+	})
+	mux.HandleFunc("/drain", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		s.Drain()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"shard":    s.sessions.ShardID(),
+			"draining": true,
+			"sessions": s.sessions.Len(),
+		})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"ironman/internal/pool"
 )
 
 func adminGet(t *testing.T, ts *httptest.Server, path string) (int, string, string) {
@@ -173,19 +175,35 @@ func TestStatsDrawStormConsistency(t *testing.T) {
 		t.Fatalf("dispensed %d/%d, want %d each", st.Sender.Dispensed, st.Receiver.Dispensed, want)
 	}
 
-	// Reach into the live session (same package) and compare the
+	// Pull the live session out of the session layer and compare the
 	// registry-backed view STATS serves against pool.Stats().
-	srv.mu.Lock()
-	live := srv.sessions[sess.ID()]
-	srv.mu.Unlock()
-	if live == nil {
+	live, ok := srv.Sessions().Get(sess.ID())
+	if !ok {
 		t.Fatal("session vanished")
 	}
-	ps, pr := live.pool.Stats()
-	if got := halfStats(live.obsS.Snapshot()); got != halfStats(ps) {
-		t.Errorf("sender half: STATS %+v != pool %+v", got, halfStats(ps))
+	ps, pr := live.PoolStats()
+	served, err := srv.Sessions().Stats(sess.ID())
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := halfStats(live.obsR.Snapshot()); got != halfStats(pr) {
-		t.Errorf("receiver half: STATS %+v != pool %+v", got, halfStats(pr))
+	if served.Sender != asHalfStats(ps) {
+		t.Errorf("sender half: STATS %+v != pool %+v", served.Sender, asHalfStats(ps))
+	}
+	if served.Receiver != asHalfStats(pr) {
+		t.Errorf("receiver half: STATS %+v != pool %+v", served.Receiver, asHalfStats(pr))
+	}
+}
+
+// asHalfStats mirrors the session layer's pool.Stats -> wire.HalfStats
+// conversion for the consistency check.
+func asHalfStats(st pool.Stats) HalfStats {
+	return HalfStats{
+		Generated:    st.Generated,
+		Dispensed:    st.Dispensed,
+		Refills:      st.Refills,
+		Draws:        st.Draws,
+		BlockedDraws: st.BlockedDraws,
+		BlockedNS:    st.BlockedTime.Nanoseconds(),
+		Buffered:     st.Buffered,
 	}
 }

@@ -9,19 +9,21 @@ import (
 	"time"
 
 	"ironman/internal/block"
+	"ironman/internal/otserv/wire"
 	"ironman/internal/pool"
 	"ironman/internal/transport"
 )
 
-// Client is one connection to a dispenser. It is safe for concurrent
-// use; requests on one connection serialize (open one client per
-// high-throughput consumer if that matters).
+// Client is one connection to a dispenser (a standalone daemon, one
+// fleet shard, or the fleet router — the wire protocol is identical).
+// It is safe for concurrent use; requests on one connection serialize
+// (open one client per high-throughput consumer if that matters).
 type Client struct {
 	mu   sync.Mutex
 	conn transport.Conn
 }
 
-// Dial connects to a dispenser daemon.
+// Dial connects to a dispenser daemon or fleet router.
 func Dial(addr string) (*Client, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -36,15 +38,19 @@ func NewClient(conn transport.Conn) *Client {
 	return &Client{conn: conn}
 }
 
-// Close disconnects. The server drops this connection's references to
-// its sessions; sessions no other client holds are torn down.
+// Close disconnects. The server orphans this connection's sessions:
+// their lease clocks start, and they are resumable with
+// AttachToken until the lease expires. Use Session.Close for an
+// immediate teardown.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.conn.Close()
 }
 
-// roundTrip sends one request and decodes the status byte.
+// roundTrip sends one request and decodes the status byte. Typed
+// failures (quota, lease, dry, draining, version, backend) come back
+// as errors matching the wire sentinels under errors.Is.
 func (c *Client) roundTrip(req []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -60,16 +66,10 @@ func (c *Client) roundTrip(req []byte) ([]byte, error) {
 	if len(resp) < 1 {
 		return nil, errors.New("otserv: empty response")
 	}
-	switch resp[0] {
-	case statusOK:
+	if resp[0] == wire.StatusOK {
 		return resp[1:], nil
-	case statusErrVersion:
-		return nil, fmt.Errorf("%w (server: %s)", ErrVersionMismatch, resp[1:])
-	case statusErrBackend:
-		return nil, fmt.Errorf("%w (server: %s)", ErrBackendUnsupported, resp[1:])
-	default:
-		return nil, fmt.Errorf("otserv: server: %s", resp[1:])
 	}
+	return nil, wire.FromStatus(resp[0], string(resp[1:]))
 }
 
 func (c *Client) roundTripJSON(op byte, req, resp any) error {
@@ -105,15 +105,24 @@ type SessionConfig struct {
 	// Workers requests an Extend worker-goroutine cap for the session's
 	// refills (0 = server default; the server clamps to its own cap).
 	Workers int
+	// Tenant names the accounting principal the session draws under
+	// ("" = the anonymous default tenant). Quotas key off it.
+	Tenant string
+	// Lease requests how long the session survives a dropped
+	// connection before the server reclaims it (0 = server default;
+	// the server clamps to its own cap).
+	Lease time.Duration
 }
 
 // Session is a handle on one dispenser session.
 type Session struct {
 	c        *Client
 	id       uint64
+	token    string // fleet routing token (reconnect handle)
 	params   string
 	backend  string
 	batch    int
+	lease    time.Duration
 	role     Role
 	tokenS   string
 	tokenR   string
@@ -126,35 +135,39 @@ type Session struct {
 // receives the two attach tokens; hand one token to the consumer of
 // each half (a party holding both tokens can reconstruct Δ).
 func (c *Client) NewSession(cfg SessionConfig) (*Session, error) {
-	req := helloReq{
-		V:         ProtoVersion,
+	req := wire.HelloReq{
+		V:         wire.ProtoVersion,
 		Params:    cfg.Params,
 		Backend:   cfg.Backend,
 		BinaryAES: cfg.BinaryAES,
 		Depth:     cfg.Depth,
 		LowWater:  cfg.LowWater,
 		Workers:   cfg.Workers,
+		Tenant:    cfg.Tenant,
+		LeaseMS:   cfg.Lease.Milliseconds(),
 	}
 	// HELLO carries the v2 framing (version byte before the JSON), so
 	// it cannot go through roundTripJSON.
-	body, err := helloBody(req)
+	body, err := wire.HelloBody(req)
 	if err != nil {
 		return nil, err
 	}
-	out, err := c.roundTrip(append([]byte{opHello}, body...))
+	out, err := c.roundTrip(append([]byte{wire.OpHello}, body...))
 	if err != nil {
 		return nil, err
 	}
-	var resp helloResp
+	var resp wire.HelloResp
 	if err := json.Unmarshal(out, &resp); err != nil {
 		return nil, err
 	}
 	return &Session{
 		c:        c,
 		id:       resp.Session,
+		token:    resp.SessionToken,
 		params:   resp.Params,
 		backend:  resp.Backend,
 		batch:    resp.Batch,
+		lease:    time.Duration(resp.LeaseMS) * time.Millisecond,
 		role:     RoleBoth,
 		tokenS:   resp.SenderToken,
 		tokenR:   resp.ReceiverToken,
@@ -166,16 +179,39 @@ func (c *Client) NewSession(cfg SessionConfig) (*Session, error) {
 // Attach joins an existing session with one of its tokens, to consume
 // the half the token authorizes. Attached handles do not learn Δ.
 func (c *Client) Attach(id uint64, token string) (*Session, error) {
-	var resp attachResp
-	if err := c.roundTripJSON(opAttach, attachReq{Session: id, Token: token}, &resp); err != nil {
-		return nil, err
-	}
-	return &Session{c: c, id: id, params: resp.Params, backend: resp.Backend, batch: resp.Batch, role: resp.Role}, nil
+	return c.attach(wire.AttachReq{Session: id, Token: token})
 }
 
-// ServerStats fetches the server-wide counters.
+// AttachToken joins a session by its fleet-wide routing token — the
+// reconnect path. A client whose connection died re-dials (the router
+// lands it on the owning shard), presents the session token plus its
+// capability token, and resumes drawing at the exact pool position it
+// left, as long as the lease has not expired (then: ErrLeaseExpired).
+func (c *Client) AttachToken(sessionToken, token string) (*Session, error) {
+	return c.attach(wire.AttachReq{SessionToken: sessionToken, Token: token})
+}
+
+func (c *Client) attach(req wire.AttachReq) (*Session, error) {
+	var resp wire.AttachResp
+	if err := c.roundTripJSON(wire.OpAttach, req, &resp); err != nil {
+		return nil, err
+	}
+	return &Session{
+		c:       c,
+		id:      resp.Session,
+		token:   req.SessionToken,
+		params:  resp.Params,
+		backend: resp.Backend,
+		batch:   resp.Batch,
+		lease:   time.Duration(resp.LeaseMS) * time.Millisecond,
+		role:    resp.Role,
+	}, nil
+}
+
+// ServerStats fetches the server-wide counters (per-shard when
+// connected to a shard; merged when connected to the router).
 func (c *Client) ServerStats() (*StatsDump, error) {
-	out, err := c.roundTrip(sessionReq(opStats, 0))
+	out, err := c.roundTrip(wire.SessionReq(wire.OpStats, 0))
 	if err != nil {
 		return nil, err
 	}
@@ -186,8 +222,13 @@ func (c *Client) ServerStats() (*StatsDump, error) {
 	return &dump, nil
 }
 
-// ID is the server-assigned session id (share it for Attach).
+// ID is the server-assigned session id (share it for Attach; in fleet
+// mode the shard id is in the top bits, wire.ShardOf).
 func (s *Session) ID() uint64 { return s.id }
+
+// Token is the session's fleet-wide routing token: the handle for
+// AttachToken reconnects. It routes but does not authorize.
+func (s *Session) Token() string { return s.token }
 
 // Params names the session's parameter set.
 func (s *Session) Params() string { return s.params }
@@ -197,6 +238,10 @@ func (s *Session) Backend() string { return s.backend }
 
 // Batch is the session's per-Extend correlation yield.
 func (s *Session) Batch() int { return s.batch }
+
+// Lease is the session's orphan grace window: how long it survives a
+// dropped connection before the server reclaims it.
+func (s *Session) Lease() time.Duration { return s.lease }
 
 // Delta returns the session's global correlation. ok is false on
 // attached handles, which are not told Δ.
@@ -215,7 +260,7 @@ func (s *Session) ReceiverToken() string { return s.tokenR }
 
 // Stats fetches the session's pool counters.
 func (s *Session) Stats() (*SessionStats, error) {
-	out, err := s.c.roundTrip(sessionReq(opStats, s.id))
+	out, err := s.c.roundTrip(wire.SessionReq(wire.OpStats, s.id))
 	if err != nil {
 		return nil, err
 	}
@@ -227,9 +272,10 @@ func (s *Session) Stats() (*SessionStats, error) {
 }
 
 // Close drops this handle's reference; the server tears the session
-// down once no client holds it.
+// down once no client holds it (immediately — an explicit CLOSE waives
+// the lease window).
 func (s *Session) Close() error {
-	_, err := s.c.roundTrip(sessionReq(opClose, s.id))
+	_, err := s.c.roundTrip(wire.SessionReq(wire.OpClose, s.id))
 	return err
 }
 
@@ -246,7 +292,7 @@ func (s *Session) SenderCOTs(n int) ([]block.Block, error) {
 		if chunk > MaxDraw {
 			chunk = MaxDraw
 		}
-		body, err := s.c.roundTrip(drawReq(opDrawS, s.id, chunk))
+		body, err := s.c.roundTrip(wire.DrawReq(wire.OpDrawS, s.id, chunk))
 		if err != nil {
 			return nil, err
 		}
@@ -272,11 +318,11 @@ func (s *Session) ReceiverCOTs(n int) ([]bool, []block.Block, error) {
 		if chunk > MaxDraw {
 			chunk = MaxDraw
 		}
-		body, err := s.c.roundTrip(drawReq(opDrawR, s.id, chunk))
+		body, err := s.c.roundTrip(wire.DrawReq(wire.OpDrawR, s.id, chunk))
 		if err != nil {
 			return nil, nil, err
 		}
-		bs, blks, err := parseDrawRResp(body, chunk)
+		bs, blks, err := wire.ParseDrawRResp(body, chunk)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -289,7 +335,7 @@ func (s *Session) ReceiverCOTs(n int) ([]bool, []block.Block, error) {
 
 // poolStats converts a STATS half back to the pool.Stats shape, so
 // remote drawers report through the same type as local pools.
-func (h HalfStats) poolStats() pool.Stats {
+func poolStats(h HalfStats) pool.Stats {
 	return pool.Stats{
 		Generated:    h.Generated,
 		Dispensed:    h.Dispensed,
@@ -327,7 +373,7 @@ func (r *RemoteSender) Stats() pool.Stats {
 	if err != nil {
 		return pool.Stats{}
 	}
-	return st.Sender.poolStats()
+	return poolStats(st.Sender)
 }
 
 // Close drops the underlying session handle's reference.
@@ -350,7 +396,7 @@ func (r *RemoteReceiver) Stats() pool.Stats {
 	if err != nil {
 		return pool.Stats{}
 	}
-	return st.Receiver.poolStats()
+	return poolStats(st.Receiver)
 }
 
 // Close drops the underlying session handle's reference.

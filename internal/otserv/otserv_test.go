@@ -14,6 +14,7 @@ import (
 	"ironman/internal/block"
 	"ironman/internal/extension"
 	"ironman/internal/ferret"
+	"ironman/internal/otserv/wire"
 	"ironman/internal/pool"
 )
 
@@ -123,20 +124,11 @@ func TestConcurrentSessions(t *testing.T) {
 	}
 }
 
-// TestWorkersClampAndSession: HELLO worker requests clamp to the
-// server cap, and a multi-worker session's correlations verify like a
-// sequential one.
+// TestWorkersClampAndSession: a multi-worker session's correlations
+// verify like a sequential one (the clamp itself is unit-tested in the
+// session package).
 func TestWorkersClampAndSession(t *testing.T) {
-	addr, srv := startServer(t, Config{Workers: 2})
-	if got := srv.sessionWorkers(0); got != 2 {
-		t.Fatalf("default workers = %d, want server cap 2", got)
-	}
-	if got := srv.sessionWorkers(1); got != 1 {
-		t.Fatalf("requested 1 worker, got %d", got)
-	}
-	if got := srv.sessionWorkers(64); got != 2 {
-		t.Fatalf("oversized request = %d, want clamp to 2", got)
-	}
+	addr, _ := startServer(t, Config{Workers: 2})
 	c := dial(t, addr)
 	sess, err := c.NewSession(SessionConfig{Params: "small", Workers: 8})
 	if err != nil {
@@ -306,14 +298,16 @@ func TestBadHandshakes(t *testing.T) {
 		t.Fatal("attach to missing session must fail")
 	}
 	// Wrong protocol version.
-	if err := c.roundTripJSON(opHello, helloReq{V: 99, Params: "small"}, &helloResp{}); err == nil ||
+	if err := c.roundTripJSON(wire.OpHello, wire.HelloReq{V: 99, Params: "small"}, &wire.HelloResp{}); err == nil ||
 		!strings.Contains(err.Error(), "version") {
 		t.Fatalf("err = %v, want version error", err)
 	}
 }
 
 func TestStatsAndTeardown(t *testing.T) {
-	addr, _ := startServer(t, Config{})
+	// Short lease + fast sweep: a dropped client's session is reclaimed
+	// quickly instead of riding out the default 15 s orphan window.
+	addr, _ := startServer(t, Config{Lease: 50 * time.Millisecond, Sweep: 10 * time.Millisecond})
 	watcher := dial(t, addr)
 
 	c := dial(t, addr)
@@ -344,12 +338,13 @@ func TestStatsAndTeardown(t *testing.T) {
 		t.Fatalf("server stats: %+v", dump)
 	}
 	// Per-session stats require an attachment on the querying conn.
-	if _, err := watcher.roundTrip(sessionReq(opStats, sess.ID())); err == nil ||
+	if _, err := watcher.roundTrip(wire.SessionReq(wire.OpStats, sess.ID())); err == nil ||
 		!strings.Contains(err.Error(), "not attached") {
 		t.Fatalf("err = %v, want attachment requirement", err)
 	}
 
-	// Dropping the only client tears the session down.
+	// Dropping the only client orphans the session; the janitor tears
+	// it down once the lease runs out.
 	c.Close()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
@@ -357,7 +352,7 @@ func TestStatsAndTeardown(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if dump.Sessions == 0 && dump.SessionsClosed == 1 {
+		if dump.Sessions == 0 && dump.SessionsClosed == 1 && dump.SessionsExpired == 1 {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -511,52 +506,44 @@ func TestBackendRejection(t *testing.T) {
 	}
 }
 
-// TestHelloVersioning: future versions are refused with the typed
-// sentinel; the legacy v1 bare-JSON HELLO is still accepted for the
-// compatibility window and lands on the default backend.
+// TestHelloVersioning: future versions AND the retired legacy v1
+// bare-JSON HELLO are refused with the typed sentinel, and a rejected
+// handshake leaves zero session state behind.
 func TestHelloVersioning(t *testing.T) {
 	addr, _ := startServer(t, Config{})
 	c := dial(t, addr)
 
 	// A v3 client (version byte the server does not speak).
-	body, err := json.Marshal(helloReq{V: 3, Params: "small"})
+	body, err := json.Marshal(wire.HelloReq{V: 3, Params: "small"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.roundTrip(append([]byte{opHello, 3}, body...)); !errors.Is(err, ErrVersionMismatch) {
+	if _, err := c.roundTrip(append([]byte{wire.OpHello, 3}, body...)); !errors.Is(err, ErrVersionMismatch) {
 		t.Fatalf("err = %v, want ErrVersionMismatch", err)
 	}
 	// A frame/body version disagreement.
-	if _, err := c.roundTrip(append([]byte{opHello, ProtoVersion}, body...)); !errors.Is(err, ErrVersionMismatch) {
+	if _, err := c.roundTrip(append([]byte{wire.OpHello, ProtoVersion}, body...)); !errors.Is(err, ErrVersionMismatch) {
 		t.Fatalf("err = %v, want ErrVersionMismatch", err)
 	}
 	// An empty HELLO body.
-	if _, err := c.roundTrip([]byte{opHello}); !errors.Is(err, ErrVersionMismatch) {
+	if _, err := c.roundTrip([]byte{wire.OpHello}); !errors.Is(err, ErrVersionMismatch) {
 		t.Fatalf("err = %v, want ErrVersionMismatch", err)
 	}
-
-	// Legacy v1: bare JSON body, no version byte, no backend field.
-	legacy, err := json.Marshal(helloReq{V: 1, Params: "small"})
+	// Legacy v1 (bare JSON body, no version byte): the one-release
+	// compatibility window is over; it must be refused, not served.
+	legacy, err := json.Marshal(wire.HelloReq{V: 1, Params: "small"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := c.roundTrip(append([]byte{opHello}, legacy...))
-	if err != nil {
-		t.Fatalf("legacy v1 HELLO must stay accepted: %v", err)
+	if _, err := c.roundTrip(append([]byte{wire.OpHello}, legacy...)); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("legacy v1 HELLO: err = %v, want ErrVersionMismatch", err)
 	}
-	var resp helloResp
-	if err := json.Unmarshal(out, &resp); err != nil {
-		t.Fatal(err)
-	}
-	if resp.Backend != extension.Default {
-		t.Fatalf("legacy session backend = %q, want default %q", resp.Backend, extension.Default)
-	}
-	z, err := (&Session{c: c, id: resp.Session, batch: resp.Batch}).SenderCOTs(64)
+	dump, err := c.ServerStats()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(z) != 64 {
-		t.Fatalf("legacy session draw yielded %d", len(z))
+	if dump.SessionsOpened != 0 || dump.Sessions != 0 {
+		t.Fatalf("rejected HELLOs left session state: %+v", dump)
 	}
 }
 

@@ -1,0 +1,86 @@
+package router
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// AdminHandler returns the operator-facing HTTP surface for a running
+// fleet router. Like the shard admin port it carries no capabilities;
+// bind it to loopback or an internal scrape network.
+//
+// Routes:
+//
+//	/metrics       Prometheus text exposition of the router registry
+//	/healthz       200 "ok" when any shard is live; 503 otherwise
+//	/shards        JSON fleet membership with per-shard routing state
+//	/shards/add    POST ?addr=host:port — live-add a shard to the fleet
+//	/shards/drain  POST ?addr=host:port — stop placing on a shard
+func (r *Router) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.reg.WritePrometheus(w); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if r.mShardsLive.Value() == 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("no live shards\n"))
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/shards", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Shards())
+	})
+	mux.HandleFunc("/shards/add", func(w http.ResponseWriter, req *http.Request) {
+		addr, ok := shardAddr(w, req)
+		if !ok {
+			return
+		}
+		r.AddShard(addr)
+		writeShardJSON(w, r, addr)
+	})
+	mux.HandleFunc("/shards/drain", func(w http.ResponseWriter, req *http.Request) {
+		addr, ok := shardAddr(w, req)
+		if !ok {
+			return
+		}
+		if !r.DrainShard(addr) {
+			http.Error(w, "unknown shard", http.StatusNotFound)
+			return
+		}
+		writeShardJSON(w, r, addr)
+	})
+	return mux
+}
+
+func shardAddr(w http.ResponseWriter, req *http.Request) (string, bool) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return "", false
+	}
+	addr := req.URL.Query().Get("addr")
+	if addr == "" {
+		http.Error(w, "missing addr", http.StatusBadRequest)
+		return "", false
+	}
+	return addr, true
+}
+
+func writeShardJSON(w http.ResponseWriter, r *Router, addr string) {
+	w.Header().Set("Content-Type", "application/json")
+	for _, view := range r.Shards() {
+		if view.Addr == addr {
+			json.NewEncoder(w).Encode(view)
+			return
+		}
+	}
+	json.NewEncoder(w).Encode(ShardView{Addr: addr, State: "dead"})
+}

@@ -1,178 +1,115 @@
+// Package otserv is the OT dispenser's transport layer: it frames the
+// wire protocol (package wire) over transport.Conn connections and
+// delegates everything stateful — sessions, leases, quotas, pools — to
+// the session layer (package session). The split is load-bearing for
+// fleet mode: a shard is exactly this server around a shard-scoped
+// session.Registry, and the router (package router) proxies the same
+// wire protocol across many shards without understanding sessions at
+// all.
 package otserv
 
 import (
-	"crypto/rand"
-	"crypto/subtle"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"sort"
-	"strings"
 	"sync"
+	"time"
 
 	"ironman/internal/block"
-	"ironman/internal/extension"
-	"ironman/internal/ferret"
 	"ironman/internal/obs"
-	"ironman/internal/parallel"
-	"ironman/internal/pool"
+	"ironman/internal/otserv/session"
+	"ironman/internal/otserv/wire"
 	"ironman/internal/transport"
 )
 
-// Config tunes the dispenser server. The zero value is usable: Table 4
-// parameter lookup, "2^20" default set, depth-2 prefetch, 64 sessions.
-type Config struct {
-	// Resolve maps a handshake params name to a parameter set; nil
-	// selects ferret.ParamsByName (Table 4).
-	Resolve func(name string) (ferret.Params, error)
-	// DefaultParams is used when a HELLO names no set. Default "2^20".
-	DefaultParams string
-	// Depth is the per-session prefetch depth (batches) when a HELLO
-	// requests none. Default 2.
-	Depth int
-	// MaxDepth caps client-requested prefetch depths. Default 8.
-	MaxDepth int
-	// MaxSessions bounds concurrently open sessions. Default 64.
-	MaxSessions int
-	// Backends is the extension-backend allowlist this server serves
-	// (advertised in StatsDump.Backends; HELLOs naming anything else
-	// are rejected with statusErrBackend before any session state is
-	// created). nil serves every registered backend (extension.Names).
-	Backends []string
-	// Workers is the per-session Extend worker cap (the multicore
-	// pipeline knob, see ferret.Options.Workers) applied when a HELLO
-	// requests none, and the clamp for HELLOs that request more. 0
-	// selects runtime.GOMAXPROCS — refills of a single busy session
-	// then use the whole host, which is the right default for a
-	// dispenser whose sessions are usually drained one at a time.
-	Workers int
-	// Registry receives the server's metrics: session lifecycle
-	// counters plus one ironman_pool_* instrument set per session half,
-	// labeled {session, half, params}. nil — the default — makes the
-	// server create its own (Registry() exposes it either way; the
-	// STATS protocol and the admin endpoint are registry-backed).
-	Registry *obs.Registry
-}
+// Config tunes the dispenser; it is the session layer's Config (the
+// transport layer adds no knobs of its own).
+type Config = session.Config
 
-func (c Config) withDefaults() Config {
-	if c.Resolve == nil {
-		c.Resolve = ferret.ParamsByName
-	}
-	if c.DefaultParams == "" {
-		c.DefaultParams = "2^20"
-	}
-	if c.Depth <= 0 {
-		c.Depth = 2
-	}
-	if c.MaxDepth <= 0 {
-		c.MaxDepth = 8
-	}
-	if c.MaxSessions <= 0 {
-		c.MaxSessions = 64
-	}
-	if len(c.Backends) == 0 {
-		c.Backends = extension.Names()
-	} else {
-		c.Backends = append([]string(nil), c.Backends...)
-		sort.Strings(c.Backends)
-	}
-	return c
-}
+// Aliases for the wire protocol's client-visible types, so dispenser
+// consumers import only otserv.
+type (
+	// Role names which half an attachment may draw.
+	Role = wire.Role
+	// HalfStats is one pool half's counters as served by STATS.
+	HalfStats = wire.HalfStats
+	// SessionStats is one session's STATS view.
+	SessionStats = wire.SessionStats
+	// StatsDump is the shard-wide STATS view.
+	StatsDump = wire.StatsDump
+)
 
-// backend resolves a HELLO's backend request against the server's
-// allowlist. Failures wrap ErrBackendUnsupported and happen before any
-// session state exists.
-func (c Config) backend(name string) (extension.Backend, error) {
-	if name == "" {
-		name = extension.Default
-	}
-	for _, allowed := range c.Backends {
-		if name == allowed {
-			b, err := extension.ByName(name)
-			if err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrBackendUnsupported, err)
-			}
-			return b, nil
-		}
-	}
-	return nil, fmt.Errorf("%w: %q (this server serves: %s)",
-		ErrBackendUnsupported, name, strings.Join(c.Backends, " "))
-}
+const (
+	// RoleSender may draw r0 blocks.
+	RoleSender = wire.RoleSender
+	// RoleReceiver may draw choice bits and r_b blocks.
+	RoleReceiver = wire.RoleReceiver
+	// RoleBoth is the session creator's view.
+	RoleBoth = wire.RoleBoth
+	// MaxDraw is the per-request draw cap (clients chunk above it).
+	MaxDraw = wire.MaxDraw
+	// ProtoVersion is the wire protocol version.
+	ProtoVersion = wire.ProtoVersion
+)
 
-// session is one dealt correlation stream and its prefetching pool.
-type session struct {
-	id         uint64
-	paramsName string
-	backend    string // negotiated extension backend
-	batch      int
-	delta      block.Block
-	tokenS     string // attach capability for the sender half
-	tokenR     string // attach capability for the receiver half
-	pool       *pool.Dealt
-	connA      transport.Conn // in-process pipe endpoints backing the
-	connB      transport.Conn // session's ferret pair
-	refs       int            // attachments across all client conns
-	// obsS/obsR mirror the pool halves into the server registry; the
-	// STATS protocol serves from these (pool.Stats agrees by the
-	// Observer contract). labels is the shared per-session label set,
-	// the teardown Drop predicate's match key.
-	obsS, obsR *pool.Observer
-	labels     string
-}
+// Typed failures clients can match with errors.Is.
+var (
+	ErrVersionMismatch    = wire.ErrVersionMismatch
+	ErrBackendUnsupported = wire.ErrBackendUnsupported
+	ErrQuotaExceeded      = wire.ErrQuotaExceeded
+	ErrLeaseExpired       = wire.ErrLeaseExpired
+	ErrPoolDry            = wire.ErrPoolDry
+	ErrDraining           = wire.ErrDraining
+)
 
 // attachment is one conn's view of a session: which halves it may
 // draw and how many references (HELLO/ATTACH minus CLOSE) it holds.
 type attachment struct {
-	sess     *session
+	sess     *session.Session
 	sender   bool
 	receiver bool
 	count    int
 }
 
-// Server is the multi-session OT dispenser.
+// Server is the dispenser's transport layer: one accept loop, one
+// request loop per connection, all state in the session registry.
 type Server struct {
-	cfg Config
-	reg *obs.Registry
+	sessions *session.Registry
+	reg      *obs.Registry
 
-	// Lifecycle metrics (registry-backed; mirror the mu-held counters).
-	mSessions *obs.Gauge   // ironman_otserv_sessions
-	mOpened   *obs.Counter // ironman_otserv_sessions_opened_total
-	mClosed   *obs.Counter // ironman_otserv_sessions_closed_total
-
-	mu       sync.Mutex
-	ln       net.Listener
-	conns    map[transport.Conn]struct{}
-	sessions map[uint64]*session
-	nextID   uint64
-	opened   uint64
-	torn     uint64
-	closed   bool
-	wg       sync.WaitGroup
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[transport.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
 }
 
-// NewServer builds a dispenser with the given config.
+// NewServer builds a dispenser (one fleet shard, or the whole daemon
+// in standalone mode) with the given config.
 func NewServer(cfg Config) *Server {
-	cfg = cfg.withDefaults()
-	reg := cfg.Registry
-	if reg == nil {
-		reg = obs.NewRegistry()
-	}
+	reg := session.NewRegistry(cfg)
 	return &Server{
-		cfg:       cfg,
-		reg:       reg,
-		mSessions: reg.Gauge("ironman_otserv_sessions"),
-		mOpened:   reg.Counter("ironman_otserv_sessions_opened_total"),
-		mClosed:   reg.Counter("ironman_otserv_sessions_closed_total"),
-		conns:     make(map[transport.Conn]struct{}),
-		sessions:  make(map[uint64]*session),
+		sessions: reg,
+		reg:      reg.Obs(),
+		conns:    make(map[transport.Conn]struct{}),
 	}
 }
 
 // Registry exposes the server's metrics registry (scraped by the admin
 // endpoint's /metrics; callers may add their own series).
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Sessions exposes the session layer (tests and embedders drive leases
+// and drain directly; the wire protocol covers everything clients need).
+func (s *Server) Sessions() *session.Registry { return s.sessions }
+
+// Drain flips the server into lame-duck mode: HELLOs are refused with
+// ErrDraining while existing sessions keep serving to CLOSE or lease
+// expiry. The router takes a draining shard out of placement and
+// re-HELLOs elsewhere.
+func (s *Server) Drain() { s.sessions.Drain() }
 
 // Serve accepts dispenser clients on ln until the listener fails or
 // the server is closed. It blocks; run it on its own goroutine when
@@ -210,12 +147,13 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Close shuts the server down: stops accepting, disconnects clients,
-// and tears down every session.
+// Close shuts the server down immediately: stops accepting,
+// disconnects clients, and tears down every session (no lease grace).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.sessions.Close()
 		return nil
 	}
 	s.closed = true
@@ -225,28 +163,63 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	if ln != nil {
-		ln.Close()
+		_ = ln.Close()
 	}
 	s.wg.Wait()
-	// Conn teardown derefs the sessions each conn held; any session
-	// that somehow kept references (there are none after wg.Wait, but
-	// be defensive) is torn down here.
+	// Registry close tears down every remaining session in id order
+	// (conn teardown orphans rather than closes, so "remaining" is
+	// usually all of them).
+	s.sessions.Close()
+	return nil
+}
+
+// Shutdown drains the server for a clean exit (the SIGTERM path):
+// stop accepting, refuse new sessions, give in-flight connections up
+// to timeout to finish their request loops, then disconnect whoever
+// remains and tear down every session in id order. The session
+// registry retires all metric series as part of teardown, so the obs
+// registry is left holding only process-lifetime counters.
+func (s *Server) Shutdown(timeout time.Duration) error {
 	s.mu.Lock()
-	rest := make([]*session, 0, len(s.sessions))
-	for id, sess := range s.sessions {
-		delete(s.sessions, id)
-		rest = append(rest, sess)
+	if s.closed {
+		s.mu.Unlock()
+		s.sessions.Close()
+		return nil
 	}
+	s.closed = true
+	ln := s.ln
 	s.mu.Unlock()
-	for _, sess := range rest {
-		s.teardown(sess)
+	if ln != nil {
+		_ = ln.Close()
 	}
+	s.sessions.Drain()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C:
+		s.mu.Lock()
+		for conn := range s.conns {
+			_ = conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.sessions.Close()
 	return nil
 }
 
 // handleConn serves one client connection: a sequential request loop.
 // Draws run outside the server lock, so a slow draw on one conn never
-// stalls other clients.
+// stalls other clients. A dying connection orphans its sessions (the
+// lease clock starts) instead of closing them — reconnect-with-token
+// resumes them; only an explicit CLOSE (or lease expiry) tears down.
 func (s *Server) handleConn(conn transport.Conn) {
 	defer s.wg.Done()
 	owned := make(map[uint64]*attachment)
@@ -262,7 +235,7 @@ func (s *Server) handleConn(conn transport.Conn) {
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		for _, id := range ids {
 			for i := 0; i < owned[id].count; i++ {
-				s.deref(id)
+				s.sessions.Detach(id, true)
 			}
 		}
 	}()
@@ -277,300 +250,154 @@ func (s *Server) handleConn(conn transport.Conn) {
 	}
 }
 
-func respOK(body []byte) []byte { return append([]byte{statusOK}, body...) }
-
-// respErr picks the response status from the error's type so clients
-// can rebuild the typed sentinel with errors.Is.
-func respErr(err error) []byte {
-	status := statusErr
-	switch {
-	case errors.Is(err, ErrVersionMismatch):
-		status = statusErrVersion
-	case errors.Is(err, ErrBackendUnsupported):
-		status = statusErrBackend
-	}
-	return append([]byte{status}, err.Error()...)
-}
 func respJSON(v any) []byte {
 	body, err := json.Marshal(v)
 	if err != nil {
-		return respErr(err)
+		return wire.ErrResponse(err)
 	}
-	return respOK(body)
+	return wire.OKResponse(body)
 }
 
 func (s *Server) dispatch(msg []byte, owned map[uint64]*attachment) []byte {
 	if len(msg) < 1 {
-		return respErr(errors.New("otserv: empty request"))
+		return wire.ErrResponse(errors.New("otserv: empty request"))
 	}
 	op, body := msg[0], msg[1:]
 	switch op {
-	case opHello:
+	case wire.OpHello:
 		return s.handleHello(body, owned)
-	case opAttach:
+	case wire.OpAttach:
 		return s.handleAttach(body, owned)
-	case opDrawS, opDrawR:
+	case wire.OpDrawS, wire.OpDrawR:
 		return s.handleDraw(op, body, owned)
-	case opStats:
+	case wire.OpStats:
 		return s.handleStats(body, owned)
-	case opClose:
-		id, err := parseSession(body)
+	case wire.OpClose:
+		id, err := wire.ParseSession(body)
 		if err != nil {
-			return respErr(err)
+			return wire.ErrResponse(err)
 		}
 		at, ok := owned[id]
 		if !ok {
-			return respErr(fmt.Errorf("otserv: session %d not attached on this conn", id))
+			return wire.ErrResponse(fmt.Errorf("otserv: session %d not attached on this conn", id))
 		}
 		at.count--
 		if at.count <= 0 {
 			delete(owned, id)
 		}
-		s.deref(id)
-		return respOK(nil)
+		s.sessions.Detach(id, false)
+		return wire.OKResponse(nil)
 	default:
-		return respErr(fmt.Errorf("otserv: unknown op 0x%02x", op))
+		return wire.ErrResponse(fmt.Errorf("otserv: unknown op 0x%02x", op))
 	}
-}
-
-// newToken samples an attach capability (128-bit, hex).
-func newToken() (string, error) {
-	var b [16]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		return "", err
-	}
-	return hex.EncodeToString(b[:]), nil
 }
 
 func (s *Server) handleHello(body []byte, owned map[uint64]*attachment) []byte {
-	req, err := parseHello(body)
+	req, err := wire.ParseHello(body)
 	if err != nil {
-		return respErr(err)
+		return wire.ErrResponse(err)
 	}
-	// Backend negotiation happens before params resolution and session
-	// construction: an unsupported backend must be refused while zero
-	// session state (and zero draw traffic) exists.
-	backend, err := s.cfg.backend(req.Backend)
-	if err != nil {
-		return respErr(err)
-	}
-	name := req.Params
-	if name == "" {
-		name = s.cfg.DefaultParams
-	}
-	params, err := s.cfg.Resolve(name)
-	if err != nil {
-		return respErr(err)
-	}
-	depth := req.Depth
-	if depth <= 0 {
-		depth = s.cfg.Depth
-	}
-	if depth > s.cfg.MaxDepth {
-		depth = s.cfg.MaxDepth
-	}
-	sess, err := s.openSession(name, params, backend, req, depth)
-	if err != nil {
-		return respErr(err)
-	}
-	owned[sess.id] = &attachment{sess: sess, sender: true, receiver: true, count: 1}
-	return respJSON(helloResp{
-		Session:       sess.id,
-		Params:        name,
-		Backend:       sess.backend,
-		Batch:         sess.batch,
-		DeltaLo:       sess.delta.Lo,
-		DeltaHi:       sess.delta.Hi,
-		SenderToken:   sess.tokenS,
-		ReceiverToken: sess.tokenR,
-	})
-}
-
-// sessionWorkers resolves a HELLO's Extend worker request against the
-// server cap: 0 inherits the cap, larger requests clamp to it.
-func (s *Server) sessionWorkers(requested int) int {
-	cap := parallel.Workers(s.cfg.Workers)
-	if requested <= 0 || requested > cap {
-		return cap
-	}
-	return requested
-}
-
-// openSession builds the in-process dealt extension pair and its pool
-// on the negotiated backend.
-func (s *Server) openSession(name string, params ferret.Params, backend extension.Backend, req helloReq, depth int) (*session, error) {
-	var deltaBytes [block.Size]byte
-	if _, err := rand.Read(deltaBytes[:]); err != nil {
-		return nil, err
-	}
-	delta := block.FromBytes(deltaBytes[:])
-	tokenS, err := newToken()
-	if err != nil {
-		return nil, err
-	}
-	tokenR, err := newToken()
-	if err != nil {
-		return nil, err
-	}
-
-	eo := extension.Options{
-		Workers:   s.sessionWorkers(req.Workers),
+	sess, err := s.sessions.Open(session.OpenRequest{
+		Params:    req.Params,
+		Backend:   req.Backend,
 		BinaryAES: req.BinaryAES,
-	}
-	connA, connB := transport.Pipe()
-	es, er, err := backend.DealPair(connA, connB, delta, params, eo)
-	if err != nil {
-		_ = connA.Close()
-		_ = connB.Close()
-		return nil, err
-	}
-	src := func() ([]block.Block, []bool, []block.Block, error) {
-		return extension.ExtendLockstep(es, er)
-	}
-
-	sess := &session{
-		paramsName: name,
-		backend:    backend.Name(),
-		batch:      backend.Batch(params),
-		delta:      delta,
-		tokenS:     tokenS,
-		tokenR:     tokenR,
-		connA:      connA,
-		connB:      connB,
-		refs:       1,
-	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		_ = connA.Close()
-		_ = connB.Close()
-		return nil, errors.New("otserv: server closed")
-	}
-	if len(s.sessions) >= s.cfg.MaxSessions {
-		s.mu.Unlock()
-		_ = connA.Close()
-		_ = connB.Close()
-		return nil, fmt.Errorf("otserv: session limit %d reached", s.cfg.MaxSessions)
-	}
-	s.nextID++
-	sess.id = s.nextID
-	sess.labels = obs.Labels("session", fmt.Sprint(sess.id))
-	sess.obsS = pool.NewObserver(s.reg, obs.Labels(
-		"session", fmt.Sprint(sess.id), "half", "sender", "params", name))
-	sess.obsR = pool.NewObserver(s.reg, obs.Labels(
-		"session", fmt.Sprint(sess.id), "half", "receiver", "params", name))
-	// Start prefetching only once the session is registered.
-	sess.pool = pool.NewDealt(src, pool.Config{
-		Depth: depth, LowWater: req.LowWater,
-		Obs: sess.obsS, ObsReceiver: sess.obsR,
+		Depth:     req.Depth,
+		LowWater:  req.LowWater,
+		Workers:   req.Workers,
+		Tenant:    req.Tenant,
+		Lease:     time.Duration(req.LeaseMS) * time.Millisecond,
+		Token:     req.SessionToken,
 	})
-	s.sessions[sess.id] = sess
-	s.opened++
-	s.mSessions.Set(int64(len(s.sessions)))
-	s.mOpened.Inc()
-	s.mu.Unlock()
-	return sess, nil
+	if err != nil {
+		return wire.ErrResponse(err)
+	}
+	owned[sess.ID()] = &attachment{sess: sess, sender: true, receiver: true, count: 1}
+	delta := sess.Delta()
+	return respJSON(wire.HelloResp{
+		Session:       sess.ID(),
+		Shard:         wire.ShardOf(sess.ID()),
+		Params:        sess.Params(),
+		Backend:       sess.Backend(),
+		Batch:         sess.Batch(),
+		DeltaLo:       delta.Lo,
+		DeltaHi:       delta.Hi,
+		SessionToken:  sess.Token(),
+		LeaseMS:       sess.Lease().Milliseconds(),
+		SenderToken:   sess.SenderToken(),
+		ReceiverToken: sess.ReceiverToken(),
+	})
 }
 
 func (s *Server) handleAttach(body []byte, owned map[uint64]*attachment) []byte {
-	var req attachReq
+	var req wire.AttachReq
 	if err := json.Unmarshal(body, &req); err != nil {
-		return respErr(fmt.Errorf("otserv: bad ATTACH: %w", err))
+		return wire.ErrResponse(fmt.Errorf("otserv: bad ATTACH: %w", err))
 	}
-	s.mu.Lock()
-	sess, ok := s.sessions[req.Session]
-	var role Role
-	if ok {
-		// The token is the capability: it selects the half this
-		// attachment may draw, and without one of the session's two
-		// tokens there is no access at all. Constant-time compare
-		// keeps the 128-bit secrets unguessable in practice.
-		switch {
-		case subtle.ConstantTimeCompare([]byte(req.Token), []byte(sess.tokenS)) == 1:
-			role = RoleSender
-		case subtle.ConstantTimeCompare([]byte(req.Token), []byte(sess.tokenR)) == 1:
-			role = RoleReceiver
-		default:
-			ok = false
-		}
+	var (
+		sess *session.Session
+		role wire.Role
+		err  error
+	)
+	if req.SessionToken != "" {
+		// The reconnect path: the routing token names the session
+		// fleet-wide, so a client that lost its conn (and maybe its
+		// numeric id) can resume inside the lease window.
+		sess, role, err = s.sessions.AttachByToken(req.SessionToken, req.Token)
+	} else {
+		sess, role, err = s.sessions.AttachByID(req.Session, req.Token)
 	}
-	if ok {
-		sess.refs++
+	if err != nil {
+		return wire.ErrResponse(err)
 	}
-	s.mu.Unlock()
-	if !ok {
-		// One error for a missing session and a bad token alike, so
-		// probing cannot distinguish the two.
-		return respErr(fmt.Errorf("otserv: no session %d for that token", req.Session))
-	}
-	at := owned[req.Session]
+	at := owned[sess.ID()]
 	if at == nil {
 		at = &attachment{sess: sess}
-		owned[req.Session] = at
+		owned[sess.ID()] = at
 	}
 	at.count++
-	at.sender = at.sender || role == RoleSender
-	at.receiver = at.receiver || role == RoleReceiver
-	return respJSON(attachResp{Params: sess.paramsName, Backend: sess.backend, Batch: sess.batch, Role: role})
+	at.sender = at.sender || role == wire.RoleSender
+	at.receiver = at.receiver || role == wire.RoleReceiver
+	return respJSON(wire.AttachResp{
+		Session: sess.ID(),
+		Shard:   wire.ShardOf(sess.ID()),
+		Params:  sess.Params(),
+		Backend: sess.Backend(),
+		Batch:   sess.Batch(),
+		Role:    role,
+		LeaseMS: sess.Lease().Milliseconds(),
+	})
 }
 
 func (s *Server) handleDraw(op byte, body []byte, owned map[uint64]*attachment) []byte {
-	id, n, err := parseSessionN(body)
+	id, n, err := wire.ParseSessionN(body)
 	if err != nil {
-		return respErr(err)
+		return wire.ErrResponse(err)
 	}
 	at, ok := owned[id]
 	if !ok {
-		return respErr(fmt.Errorf("otserv: session %d not attached on this conn", id))
+		return wire.ErrResponse(fmt.Errorf("otserv: session %d not attached on this conn", id))
 	}
-	if n < 0 || n > MaxDraw {
-		return respErr(fmt.Errorf("otserv: draw of %d outside [0, %d]", n, MaxDraw))
+	if n < 0 || n > wire.MaxDraw {
+		return wire.ErrResponse(fmt.Errorf("otserv: draw of %d outside [0, %d]", n, wire.MaxDraw))
 	}
-	if op == opDrawS {
+	if op == wire.OpDrawS {
 		if !at.sender {
-			return respErr(fmt.Errorf("otserv: attachment to session %d has no sender role", id))
+			return wire.ErrResponse(fmt.Errorf("otserv: attachment to session %d has no sender role", id))
 		}
-		z, err := at.sess.pool.SenderCOTs(n)
+		z, err := at.sess.DrawSender(n)
 		if err != nil {
-			return respErr(err)
+			return wire.ErrResponse(err)
 		}
-		return respOK(block.ToBytes(z))
+		return wire.OKResponse(block.ToBytes(z))
 	}
 	if !at.receiver {
-		return respErr(fmt.Errorf("otserv: attachment to session %d has no receiver role", id))
+		return wire.ErrResponse(fmt.Errorf("otserv: attachment to session %d has no receiver role", id))
 	}
-	bits, blocks, err := at.sess.pool.ReceiverCOTs(n)
+	bits, blocks, err := at.sess.DrawReceiver(n)
 	if err != nil {
-		return respErr(err)
+		return wire.ErrResponse(err)
 	}
-	return respOK(drawRResp(bits, blocks))
-}
-
-func halfStats(st pool.Stats) HalfStats {
-	return HalfStats{
-		Generated:    st.Generated,
-		Dispensed:    st.Dispensed,
-		Refills:      st.Refills,
-		Draws:        st.Draws,
-		BlockedDraws: st.BlockedDraws,
-		BlockedNS:    st.BlockedTime.Nanoseconds(),
-		Buffered:     st.Buffered,
-	}
-}
-
-// stats serves the session's counters from the registry-backed
-// observers (NOT pool.Stats() — the Observer contract keeps the two
-// views identical once draws quiesce, and serving from the registry
-// guarantees STATS and the admin /metrics page can never disagree).
-func (sess *session) stats(refs int) SessionStats {
-	return SessionStats{
-		ID:       sess.id,
-		Params:   sess.paramsName,
-		Backend:  sess.backend,
-		Refs:     refs,
-		Sender:   halfStats(sess.obsS.Snapshot()),
-		Receiver: halfStats(sess.obsR.Snapshot()),
-	}
+	return wire.OKResponse(wire.DrawRResp(bits, blocks))
 }
 
 // handleStats serves counters. Per-session stats require an
@@ -579,80 +406,19 @@ func (sess *session) stats(refs int) SessionStats {
 // public operator telemetry (ids and counters are not capabilities —
 // attach tokens are).
 func (s *Server) handleStats(body []byte, owned map[uint64]*attachment) []byte {
-	id, err := parseSession(body)
+	id, err := wire.ParseSession(body)
 	if err != nil {
-		return respErr(err)
+		return wire.ErrResponse(err)
 	}
 	if id != 0 {
-		at, ok := owned[id]
-		if !ok {
-			return respErr(fmt.Errorf("otserv: session %d not attached on this conn", id))
+		if _, ok := owned[id]; !ok {
+			return wire.ErrResponse(fmt.Errorf("otserv: session %d not attached on this conn", id))
 		}
-		s.mu.Lock()
-		refs := at.sess.refs
-		s.mu.Unlock()
-		return respJSON(at.sess.stats(refs))
+		st, err := s.sessions.Stats(id)
+		if err != nil {
+			return wire.ErrResponse(err)
+		}
+		return respJSON(st)
 	}
-	return respJSON(s.statsDump())
-}
-
-// statsDump assembles the server-wide STATS view (also served as JSON
-// by the admin endpoint's /sessions route).
-func (s *Server) statsDump() StatsDump {
-	s.mu.Lock()
-	dump := StatsDump{
-		Sessions:       len(s.sessions),
-		SessionsOpened: s.opened,
-		SessionsClosed: s.torn,
-		MaxSessions:    s.cfg.MaxSessions,
-		Backends:       s.cfg.Backends,
-	}
-	type entry struct {
-		sess *session
-		refs int
-	}
-	entries := make([]entry, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		entries = append(entries, entry{sess, sess.refs})
-	}
-	s.mu.Unlock()
-	sort.Slice(entries, func(i, j int) bool { return entries[i].sess.id < entries[j].sess.id })
-	for _, e := range entries {
-		dump.PerSession = append(dump.PerSession, e.sess.stats(e.refs))
-	}
-	return dump
-}
-
-// deref drops one reference to a session, tearing it down at zero.
-func (s *Server) deref(id uint64) {
-	s.mu.Lock()
-	sess, ok := s.sessions[id]
-	if !ok {
-		s.mu.Unlock()
-		return
-	}
-	sess.refs--
-	if sess.refs > 0 {
-		s.mu.Unlock()
-		return
-	}
-	delete(s.sessions, id)
-	s.torn++
-	s.mSessions.Set(int64(len(s.sessions)))
-	s.mClosed.Inc()
-	s.mu.Unlock()
-	s.teardown(sess)
-}
-
-// teardown stops a session's prefetch worker, closes its pipes, and
-// retires the session's metric series so registry cardinality stays
-// bounded by live sessions, not lifetime session count.
-// pool.Close completes the in-flight lockstep iteration first (the
-// worker drives both pipe endpoints, so it cannot wedge).
-func (s *Server) teardown(sess *session) {
-	_ = sess.pool.Close()
-	_ = sess.connA.Close()
-	_ = sess.connB.Close()
-	key := "{" + sess.labels + ","
-	s.reg.Drop(func(name string) bool { return strings.Contains(name, key) })
+	return respJSON(s.sessions.Dump())
 }

@@ -1,0 +1,114 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ironman/internal/otserv/wire"
+)
+
+// QuotaConfig shapes per-tenant admission control. The zero value is
+// unlimited: no session cap, no draw rate, no shedding.
+type QuotaConfig struct {
+	// SessionsPerTenant caps concurrently open sessions per tenant;
+	// opens past the cap shed with wire.ErrQuotaExceeded. 0 = unlimited.
+	SessionsPerTenant int
+	// DrawPerSec is the sustained per-tenant draw rate (correlations
+	// per second, summed across the tenant's sessions). 0 = unlimited.
+	DrawPerSec float64
+	// Burst is the token-bucket depth (correlations a quiescent tenant
+	// may draw instantly). 0 selects one second of DrawPerSec.
+	Burst int
+	// MaxWait bounds how long one over-rate draw may queue for tokens
+	// before shedding with wire.ErrQuotaExceeded; 0 selects 1 s.
+	MaxWait time.Duration
+	// MaxWaiters bounds how many draws may queue on one tenant's bucket
+	// at once; excess sheds immediately. 0 selects 64.
+	MaxWaiters int
+}
+
+func (q QuotaConfig) withDefaults() QuotaConfig {
+	if q.DrawPerSec > 0 && q.Burst <= 0 {
+		q.Burst = int(q.DrawPerSec)
+		if q.Burst < 1 {
+			q.Burst = 1
+		}
+	}
+	if q.MaxWait <= 0 {
+		q.MaxWait = time.Second
+	}
+	if q.MaxWaiters <= 0 {
+		q.MaxWaiters = 64
+	}
+	return q
+}
+
+// bucket is a reservation-based token bucket: an admitted draw deducts
+// its cost immediately (the balance may go negative) and sleeps until
+// its reservation matures, so concurrent draws serialize by arithmetic
+// instead of by queue wakeups and can never deadlock. Draws whose
+// reservation would mature beyond MaxWait — and draws arriving while
+// MaxWaiters reservations are already queued — shed up front with
+// wire.ErrQuotaExceeded, consuming no tokens.
+type bucket struct {
+	cfg QuotaConfig
+	now func() time.Time
+
+	mu      sync.Mutex
+	tokens  float64
+	stamp   time.Time // last refill instant
+	waiters int
+}
+
+func newBucket(cfg QuotaConfig, now func() time.Time) *bucket {
+	cfg = cfg.withDefaults()
+	return &bucket{cfg: cfg, now: now, tokens: float64(cfg.Burst), stamp: now()}
+}
+
+// acquire admits a draw of n correlations, sleeping out its
+// reservation when the tenant is over rate. A nil return means the
+// draw is admitted; errors wrap wire.ErrQuotaExceeded.
+func (b *bucket) acquire(n int) error {
+	if b == nil || b.cfg.DrawPerSec <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	t := b.now()
+	b.tokens += t.Sub(b.stamp).Seconds() * b.cfg.DrawPerSec
+	b.stamp = t
+	if max := float64(b.cfg.Burst); b.tokens > max {
+		b.tokens = max
+	}
+	after := b.tokens - float64(n)
+	if after >= 0 {
+		b.tokens = after
+		b.mu.Unlock()
+		return nil
+	}
+	wait := time.Duration(-after / b.cfg.DrawPerSec * float64(time.Second))
+	if wait > b.cfg.MaxWait {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: draw of %d needs %v of budget (rate %g/s, max wait %v)",
+			wire.ErrQuotaExceeded, n, wait.Round(time.Millisecond),
+			b.cfg.DrawPerSec, b.cfg.MaxWait)
+	}
+	if b.waiters >= b.cfg.MaxWaiters {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: %d draws already queued on tenant budget",
+			wire.ErrQuotaExceeded, b.cfg.MaxWaiters)
+	}
+	// Reserve: deduct now, sleep outside the lock until the reservation
+	// matures. Later arrivals see the negative balance and queue behind
+	// (or shed over) this one purely arithmetically.
+	b.tokens = after
+	b.waiters++
+	b.mu.Unlock()
+
+	time.Sleep(wait)
+
+	b.mu.Lock()
+	b.waiters--
+	b.mu.Unlock()
+	return nil
+}

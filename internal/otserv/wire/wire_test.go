@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"ironman/internal/block"
+)
+
+func TestParseHelloRoundTrip(t *testing.T) {
+	req := HelloReq{
+		V: ProtoVersion, Params: "2^20", Backend: "ferret",
+		Tenant: "acme", LeaseMS: 1500, SessionToken: "aabbcc",
+		Depth: 3, Workers: 2,
+	}
+	body, err := HelloBody(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseHello(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != req {
+		t.Fatalf("round trip: got %+v, want %+v", got, req)
+	}
+}
+
+// TestParseHelloRejectsLegacyV1: the bare-JSON v1 framing's one-release
+// compatibility window is over — it must now fail with the typed
+// version sentinel, not open a session.
+func TestParseHelloRejectsLegacyV1(t *testing.T) {
+	legacy, err := json.Marshal(HelloReq{V: 1, Params: "small"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseHello(legacy); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("legacy v1 HELLO: err = %v, want ErrVersionMismatch", err)
+	}
+}
+
+func TestParseHelloVersionRejections(t *testing.T) {
+	body, err := json.Marshal(HelloReq{V: 3, Params: "small"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, frame := range map[string][]byte{
+		"future version byte":   append([]byte{3}, body...),
+		"frame/body mismatch":   append([]byte{ProtoVersion}, body...),
+		"empty body":            {},
+		"unversioned zero byte": {0},
+	} {
+		if _, err := ParseHello(frame); !errors.Is(err, ErrVersionMismatch) {
+			t.Errorf("%s: err = %v, want ErrVersionMismatch", name, err)
+		}
+	}
+}
+
+// TestStatusErrorMapping: every typed sentinel survives the
+// status-byte round trip (server StatusOf -> client FromStatus) as an
+// errors.Is match, and unknown errors stay free-form.
+func TestStatusErrorMapping(t *testing.T) {
+	for _, sentinel := range []error{
+		ErrVersionMismatch, ErrBackendUnsupported, ErrQuotaExceeded,
+		ErrLeaseExpired, ErrPoolDry, ErrDraining,
+	} {
+		status := StatusOf(sentinel)
+		if status == StatusErr || status == StatusOK {
+			t.Fatalf("%v mapped to untyped status %d", sentinel, status)
+		}
+		back := FromStatus(status, "details")
+		if !errors.Is(back, sentinel) {
+			t.Fatalf("FromStatus(%d) = %v, want wrap of %v", status, back, sentinel)
+		}
+	}
+	if got := StatusOf(errors.New("whatever")); got != StatusErr {
+		t.Fatalf("untyped error mapped to status %d", got)
+	}
+	if err := FromStatus(StatusErr, "boom"); err == nil {
+		t.Fatal("StatusErr must still be an error")
+	}
+}
+
+func TestErrResponseStatusByte(t *testing.T) {
+	resp := ErrResponse(ErrQuotaExceeded)
+	if resp[0] != StatusErrQuota {
+		t.Fatalf("status byte = %d, want %d", resp[0], StatusErrQuota)
+	}
+	resp = OKResponse([]byte("x"))
+	if resp[0] != StatusOK || string(resp[1:]) != "x" {
+		t.Fatalf("OK response mis-framed: %v", resp)
+	}
+}
+
+func TestShardScopedIDs(t *testing.T) {
+	for _, tc := range []struct{ shard, seq uint64 }{
+		{0, 1}, {1, 1}, {3, 1 << 20}, {MaxShardID, 42},
+	} {
+		id := SessionID(tc.shard, tc.seq)
+		if ShardOf(id) != tc.shard {
+			t.Fatalf("ShardOf(SessionID(%d, %d)) = %d", tc.shard, tc.seq, ShardOf(id))
+		}
+		if id&(1<<ShardShift-1) != tc.seq {
+			t.Fatalf("seq bits of SessionID(%d, %d) = %d", tc.shard, tc.seq, id&(1<<ShardShift-1))
+		}
+	}
+}
+
+func TestDrawFraming(t *testing.T) {
+	req := DrawReq(OpDrawS, SessionID(2, 7), 4096)
+	if req[0] != OpDrawS {
+		t.Fatalf("op byte = %d", req[0])
+	}
+	id, n, err := ParseSessionN(req[1:])
+	if err != nil || id != SessionID(2, 7) || n != 4096 {
+		t.Fatalf("ParseSessionN = (%d, %d, %v)", id, n, err)
+	}
+	if _, _, err := ParseSessionN(req); err == nil {
+		t.Fatal("13-byte body must fail")
+	}
+	sreq := SessionReq(OpClose, 9)
+	id, err = ParseSession(sreq[1:])
+	if err != nil || id != 9 {
+		t.Fatalf("ParseSession = (%d, %v)", id, err)
+	}
+}
+
+func TestDrawRRespRoundTrip(t *testing.T) {
+	bits := []bool{true, false, true, true, false}
+	blocks := []block.Block{{Lo: 1, Hi: 2}, {Lo: 3, Hi: 4}, {Lo: 5, Hi: 6}, {Lo: 7, Hi: 8}, {Lo: 9, Hi: 10}}
+	body := DrawRResp(bits, blocks)
+	gb, gz, err := ParseDrawRResp(body, len(bits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bits {
+		if gb[i] != bits[i] || gz[i] != blocks[i] {
+			t.Fatalf("index %d: (%v, %v) != (%v, %v)", i, gb[i], gz[i], bits[i], blocks[i])
+		}
+	}
+	if _, _, err := ParseDrawRResp(body[:len(body)-1], len(bits)); err == nil {
+		t.Fatal("truncated body must fail")
+	}
+}

@@ -49,6 +49,15 @@ var ErrClosed = errors.New("pool: closed")
 // close the pool.
 var ErrRetained = errors.New("pool: paired half at retention cap")
 
+// ErrDry is the typed shed for a blocked draw that ran into the pool's
+// backpressure bounds: generation is behind demand and either the draw
+// waited Config.MaxWait without being satisfied or Config.MaxWaiters
+// draws were already queued. The draw consumed nothing; the caller can
+// retry, back off, or surface the shed (the otserv dispenser maps it
+// to its typed pool-dry protocol status). Never returned when both
+// bounds are disabled.
+var ErrDry = errors.New("pool: dry")
+
 // compactMin is the consumed-prefix size (in correlations) below which
 // compaction is not worth the copy.
 const compactMin = 1024
@@ -72,6 +81,16 @@ type Config struct {
 	// (Depth+8) batches; negative disables the cap. Ignored by Sender
 	// and Receiver pools, whose single buffer is bounded by demand.
 	MaxBuffered int
+	// MaxWait bounds how long one blocked draw waits for generation
+	// before shedding with ErrDry; 0 waits forever. A serving layer
+	// sets this so a draw storm degrades into typed rejections instead
+	// of an unbounded convoy. Ignored when Depth == 0 (the draw runs
+	// the source inline and is bounded by the source itself).
+	MaxWait time.Duration
+	// MaxWaiters bounds how many draws may be blocked on generation at
+	// once; a draw that would become waiter MaxWaiters+1 sheds
+	// immediately with ErrDry. 0 disables the bound.
+	MaxWaiters int
 	// Obs mirrors this pool's counters into a metrics registry (for a
 	// Dealt pool: the sender half). nil disables mirroring.
 	Obs *Observer
@@ -101,6 +120,7 @@ type core struct {
 	batch   int // observed source batch size; 0 until the first refill
 	filling bool
 	demand  int // largest unsatisfied draw, 0 when none waits
+	waiters int // draws currently blocked on generation
 	err     error
 	closed  bool
 	wg      sync.WaitGroup
@@ -186,20 +206,26 @@ func (c *core) runWorker(ready func() int, refill func() error) {
 }
 
 // await blocks until ready() >= n, the pool closes, the source fails,
-// or stalled (optional) reports that generation cannot proceed.
-// Returns with mu held. stats is the half being drawn from; pending
-// (optional) mirrors the unmet demand for that half so cap accounting
-// can discount correlations a waiting draw is about to consume.
-// Waiters re-assert demand every iteration, so clearing it on exit is
-// safe with other draws still queued.
+// stalled (optional) reports that generation cannot proceed, or the
+// backpressure bounds (Config.MaxWait / MaxWaiters) shed the draw with
+// ErrDry. Returns with mu held. stats is the half being drawn from;
+// pending (optional) mirrors the unmet demand for that half so cap
+// accounting can discount correlations a waiting draw is about to
+// consume. Waiters re-assert demand every iteration, so clearing it on
+// exit is safe with other draws still queued.
 func (c *core) await(n int, ready func() int, stats *Stats, o *Observer, stalled func() error, pending *int) error {
 	blocked := false
-	var begin time.Time
+	var begin, deadline time.Time
+	var timer *time.Timer
 	defer func() {
 		if blocked {
 			d := time.Since(begin)
 			stats.BlockedTime += d
 			o.noteBlockedTime(d)
+			c.waiters--
+			if timer != nil {
+				timer.Stop()
+			}
 		}
 		c.demand = 0
 		if pending != nil {
@@ -226,10 +252,29 @@ func (c *core) await(n int, ready func() int, stats *Stats, o *Observer, stalled
 			}
 		}
 		if !blocked {
+			if c.cfg.MaxWaiters > 0 && c.waiters >= c.cfg.MaxWaiters {
+				o.noteStalled()
+				return fmt.Errorf("%w: %d draws already waiting on generation", ErrDry, c.waiters)
+			}
 			blocked = true
+			c.waiters++
 			stats.BlockedDraws++
 			o.noteBlockedDraw()
 			begin = time.Now()
+			if c.cfg.MaxWait > 0 {
+				deadline = begin.Add(c.cfg.MaxWait)
+				// The timer only wakes the wait loop; the deadline
+				// check below decides. Broadcast under the lock so
+				// the wakeup cannot slip between the check and Wait.
+				timer = time.AfterFunc(c.cfg.MaxWait, func() {
+					c.mu.Lock()
+					c.cond.Broadcast()
+					c.mu.Unlock()
+				})
+			}
+		} else if !deadline.IsZero() && !time.Now().Before(deadline) {
+			o.noteStalled()
+			return fmt.Errorf("%w: draw of %d waited %v for generation", ErrDry, n, c.cfg.MaxWait)
 		}
 		c.cond.Broadcast() // wake the worker
 		c.cond.Wait()

@@ -84,6 +84,71 @@ kill "$otd_pid"
 wait "$otd_pid" 2>/dev/null || true
 echo "admin endpoint OK"
 
+echo "== dispenser fleet smoke test (3 shards + router + otload) =="
+# Boot a 3-shard fleet behind the consistent-hash router, drive it with
+# the load generator in quick mode over real TCP, and smoke the fleet
+# observability surface: the router's /metrics and /shards plus each
+# shard's per-shard /sessions dump. FLEET_JSON=path archives the otload
+# report (draw-latency p50/p95/p99, typed shed counts, per-shard
+# balance) as the committed BENCH_fleet.json trajectory point:
+#
+#   FLEET_JSON=BENCH_fleet.json ./scripts/ci.sh
+"$bindir/otd" -listen 127.0.0.1:17121 -shard-id 1 -tiny -params tiny -max-sessions 2048 -admin 127.0.0.1:17131 &
+shard1_pid=$!
+"$bindir/otd" -listen 127.0.0.1:17122 -shard-id 2 -tiny -params tiny -max-sessions 2048 -admin 127.0.0.1:17132 &
+shard2_pid=$!
+"$bindir/otd" -listen 127.0.0.1:17123 -shard-id 3 -tiny -params tiny -max-sessions 2048 -admin 127.0.0.1:17133 &
+shard3_pid=$!
+"$bindir/otd" -route -listen 127.0.0.1:17120 \
+    -shards 127.0.0.1:17121,127.0.0.1:17122,127.0.0.1:17123 \
+    -admin 127.0.0.1:17130 &
+router_pid=$!
+trap 'kill "$shard1_pid" "$shard2_pid" "$shard3_pid" "$router_pid" 2>/dev/null || true; rm -rf "$bindir"' EXIT
+# Readiness is all three shards on the ring, not just router liveness:
+# a shard whose listener lost the startup race stays dead until the
+# router's next probe tick revives it.
+i=0
+until curl -sf http://127.0.0.1:17130/metrics 2>/dev/null | grep -q '^ironman_router_shards_live 3$'; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "fleet router never saw all 3 shards live" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+curl -sf http://127.0.0.1:17130/healthz | grep -q '^ok$'
+fleet_json=${FLEET_JSON:-$bindir/fleet.json}
+if [ -n "${FLEET_JSON:-}" ]; then
+    # Archiving: the committed trajectory point is the full sizing —
+    # 1024 concurrent sessions over 64 connections.
+    "$bindir/otload" -addr 127.0.0.1:17120 -sessions 1024 -conns 64 \
+        -draws 8 -n 128 -depth 128 -tenants 8 -out "$fleet_json" > /dev/null
+    grep -q '"sessions_opened": 1024' "$fleet_json"
+else
+    "$bindir/otload" -addr 127.0.0.1:17120 -quick -n 64 -depth 128 -out "$fleet_json" > /dev/null
+    grep -q '"sessions_opened": 96' "$fleet_json"
+fi
+grep -q '"balance_max_over_even"' "$fleet_json"
+# Router surface: live-shard gauge and placement counter moved.
+fleet_metrics=$(curl -sf http://127.0.0.1:17130/metrics)
+echo "$fleet_metrics" | grep -q '^ironman_router_shards_live 3$'
+echo "$fleet_metrics" | grep -q '^ironman_router_placements_total'
+if echo "$fleet_metrics" | grep -q '^ironman_router_placements_total 0$'; then
+    echo "router placed no sessions" >&2
+    exit 1
+fi
+curl -sf http://127.0.0.1:17130/shards | grep -q '"state": "live"'
+# Per-shard surface: every shard processed some share of the sessions.
+for port in 17131 17132 17133; do
+    curl -sf "http://127.0.0.1:$port/sessions" | grep -q '"sessions_opened"'
+done
+if [ -n "${FLEET_JSON:-}" ]; then
+    echo "archived to $fleet_json"
+fi
+kill "$shard1_pid" "$shard2_pid" "$shard3_pid" "$router_pid"
+wait "$shard1_pid" "$shard2_pid" "$shard3_pid" "$router_pid" 2>/dev/null || true
+echo "fleet OK"
+
 echo "== embedded circuit end-to-end (examples/private-aes over real TCP) =="
 # Threshold AES through the Bristol circuit frontend: XOR-split key,
 # four SIMD-packed blocks, ciphertexts verified against crypto/aes.
